@@ -1,0 +1,230 @@
+// Benchmark harness regenerating every table and figure of the thesis's
+// evaluation (see DESIGN.md §4 for the experiment index):
+//
+//	BenchmarkTableI    — Table I rows (clustered sink groups)
+//	BenchmarkTableII   — Table II rows (intermingled sink groups)
+//	BenchmarkEXTBST    — the EXT-BST baseline rows of both tables
+//	BenchmarkFig1      — zero-skew vs bounded-skew trade-off (Fig. 1)
+//	BenchmarkFig2      — stitch vs simultaneous merging (Fig. 2)
+//	BenchmarkAblation  — design-choice ablations (order, deferral, offsets)
+//	BenchmarkSpiceLite — transient validation of the delay model (Ch. III)
+//	BenchmarkSubstrate — micro-benchmarks of the geometry/delay kernels
+//
+// Wirelength, reduction versus EXT-BST, and measured skews are attached as
+// benchmark metrics, so `go test -bench=. -benchmem` reproduces the numbers
+// reported in EXPERIMENTS.md (absolute CPU differs from the thesis's 2006
+// hardware; shapes are the comparison target).
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/ctree"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/rctree"
+	"repro/internal/spicelite"
+)
+
+// benchCircuits returns the circuits exercised by table benchmarks: the full
+// r1–r5 suite, or r1–r2 under -short.
+func benchCircuits(b *testing.B) []bench.Spec {
+	if testing.Short() {
+		return bench.Suite()[:2]
+	}
+	return bench.Suite()
+}
+
+// extBaseline routes the EXT-BST row for a circuit (memoized per circuit).
+var extCache = map[string]*core.Result{}
+
+func extBaseline(b *testing.B, sp bench.Spec) *core.Result {
+	if res, ok := extCache[sp.Name]; ok {
+		return res
+	}
+	res, err := core.EXTBST(bench.Generate(sp), experiments.EXTBoundPs, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	extCache[sp.Name] = res
+	return res
+}
+
+func benchTable(b *testing.B, grouping experiments.Grouping) {
+	for _, sp := range benchCircuits(b) {
+		base := bench.Generate(sp)
+		ext := extBaseline(b, sp)
+		for _, k := range experiments.GroupCounts {
+			b.Run(fmt.Sprintf("%s/k=%d", sp.Name, k), func(b *testing.B) {
+				var in *ctree.Instance
+				if grouping == experiments.Clustered {
+					in = bench.Clustered(base, k)
+				} else {
+					in = bench.Intermingled(base, k, sp.Seed*1000+int64(k))
+				}
+				var res *core.Result
+				var err error
+				for i := 0; i < b.N; i++ {
+					res, err = core.Build(in, core.Options{IntraSkewBound: experiments.ASTIntraBoundPs})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				rep := eval.Analyze(res.Root, in, core.DefaultModel(), in.Source)
+				b.ReportMetric(res.Wirelength, "wirelen")
+				b.ReportMetric(100*(ext.Wirelength-res.Wirelength)/ext.Wirelength, "reduction%")
+				b.ReportMetric(rep.GlobalSkew, "maxskew_ps")
+				b.ReportMetric(rep.MaxGroupSkew, "groupskew_ps")
+			})
+		}
+	}
+}
+
+// BenchmarkTableI regenerates the AST-DME rows of thesis Table I.
+func BenchmarkTableI(b *testing.B) { benchTable(b, experiments.Clustered) }
+
+// BenchmarkTableII regenerates the AST-DME rows of thesis Table II.
+func BenchmarkTableII(b *testing.B) { benchTable(b, experiments.Intermingled) }
+
+// BenchmarkEXTBST regenerates the EXT-BST baseline rows of both tables.
+func BenchmarkEXTBST(b *testing.B) {
+	for _, sp := range benchCircuits(b) {
+		b.Run(sp.Name, func(b *testing.B) {
+			in := bench.Generate(sp)
+			var res *core.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = core.EXTBST(in, experiments.EXTBoundPs, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			rep := eval.Analyze(res.Root, in, core.DefaultModel(), in.Source)
+			b.ReportMetric(res.Wirelength, "wirelen")
+			b.ReportMetric(rep.GlobalSkew, "maxskew_ps")
+		})
+	}
+}
+
+// BenchmarkFig1 regenerates the zero-skew versus bounded-skew comparison of
+// thesis Fig. 1 (pathlength model).
+func BenchmarkFig1(b *testing.B) {
+	var res *experiments.Fig1Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig1(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ZSTWire, "zst_wire")
+	b.ReportMetric(res.BSTWire, "bst_wire")
+	b.ReportMetric(res.BSTSkew, "bst_skew")
+}
+
+// BenchmarkFig2 regenerates the stitch-versus-AST comparison of thesis
+// Fig. 2 on an intermingled instance.
+func BenchmarkFig2(b *testing.B) {
+	var res *experiments.Fig2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig2(200, 4, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.StitchWire, "stitch_wire")
+	b.ReportMetric(res.ASTWire, "ast_wire")
+	b.ReportMetric(res.SavingPct, "saving%")
+}
+
+// BenchmarkAblation measures the design-choice ablations of DESIGN.md §4 on
+// one intermingled circuit.
+func BenchmarkAblation(b *testing.B) {
+	in := bench.Intermingled(bench.Small(300, 3), 6, 77)
+	for _, ab := range experiments.Ablations() {
+		b.Run(ab.Name, func(b *testing.B) {
+			var wire, skew, gskew float64
+			var err error
+			for i := 0; i < b.N; i++ {
+				wire, skew, gskew, err = experiments.RunAblation(in, ab)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(wire, "wirelen")
+			b.ReportMetric(skew, "maxskew_ps")
+			b.ReportMetric(gskew, "groupskew_ps")
+		})
+	}
+}
+
+// BenchmarkSpiceLite measures the transient RC validation used for the
+// Ch. III delay-model argument.
+func BenchmarkSpiceLite(b *testing.B) {
+	in := bench.Small(60, 5)
+	res, err := core.ZST(in, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sim *spicelite.Result
+	for i := 0; i < b.N; i++ {
+		sim, err = spicelite.Simulate(res.Root, in, spicelite.Params{
+			ROhmPerUnit: 0.1, CFFPerUnit: 0.02,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rep := eval.Analyze(res.Root, in, core.DefaultModel(), in.Source)
+	b.ReportMetric(sim.Skew(), "transient_skew_ps")
+	b.ReportMetric(rep.GlobalSkew, "elmore_skew_ps")
+}
+
+// BenchmarkSubstrate micro-benchmarks the geometry and delay kernels every
+// merge exercises.
+func BenchmarkSubstrate(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	rects := make([]geom.Rect, 256)
+	octs := make([]geom.Octagon, 256)
+	for i := range rects {
+		p := geom.Point{X: r.Float64() * 1e5, Y: r.Float64() * 1e5}
+		q := geom.Point{X: p.X + r.Float64()*1e3, Y: p.Y + r.Float64()*1e3}
+		rects[i] = geom.Union(geom.RectFromPoint(p), geom.RectFromPoint(q))
+		octs[i] = geom.SDR(geom.RectFromPoint(p), geom.RectFromPoint(q),
+			geom.Dist(p, q), 0, geom.Dist(p, q))
+	}
+	b.Run("DistOO", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += geom.DistOO(octs[i%256], octs[(i+7)%256])
+		}
+		_ = sink
+	})
+	b.Run("SDR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a, c := rects[i%256], rects[(i+9)%256]
+			d := geom.DistRR(a, c)
+			_ = geom.SDR(a, c, d, 0, d)
+		}
+	})
+	b.Run("ClosestPoints", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = geom.ClosestPoints(octs[i%256], octs[(i+3)%256])
+		}
+	})
+	m := rctree.NewElmore(0.1, 0.02)
+	b.Run("Balance", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			mg := rctree.Balance(m, 1000+float64(i%100), 50, 200, 60, 300)
+			sink += mg.Ea
+		}
+		_ = sink
+	})
+}

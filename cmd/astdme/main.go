@@ -1,0 +1,107 @@
+// Command astdme routes a clock routing instance with one of the
+// implemented algorithms and reports wirelength and measured skews.
+//
+// Usage:
+//
+//	astdme -algo ast     -in inst.json            # AST-DME (the paper)
+//	astdme -algo extbst  -bound 10 -in inst.json  # EXT-BST baseline
+//	astdme -algo zst     -in inst.json            # greedy-DME zero skew
+//	astdme -algo stitch  -in inst.json            # per-group trees + stitch
+//	astdme -algo ast -svg out.svg -in inst.json   # also render the tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ctree"
+	"repro/internal/eval"
+	"repro/internal/instio"
+	"repro/internal/stitch"
+	"repro/internal/svgplot"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "instance JSON file (required)")
+		algo    = flag.String("algo", "ast", "algorithm: ast | extbst | zst | stitch")
+		bound   = flag.Float64("bound", 10, "skew bound in ps (extbst: global; ast: intra-group)")
+		svgPath = flag.String("svg", "", "write an SVG rendering of the embedded tree")
+		regions = flag.Bool("regions", false, "draw merging regions in the SVG")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	in, err := instio.LoadInstance(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var root *ctree.Node
+	var wirelen float64
+	switch *algo {
+	case "ast":
+		res, err := core.Build(in, core.Options{IntraSkewBound: *bound})
+		if err != nil {
+			fatal(err)
+		}
+		root, wirelen = res.Root, res.Wirelength
+		fmt.Printf("stats: %v\n", res.Stats)
+	case "extbst":
+		res, err := core.EXTBST(in, *bound, core.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		root, wirelen = res.Root, res.Wirelength
+	case "zst":
+		res, err := core.ZST(in, core.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		root, wirelen = res.Root, res.Wirelength
+	case "stitch":
+		res, err := stitch.Build(in, stitch.Options{IntraSkewBound: *bound})
+		if err != nil {
+			fatal(err)
+		}
+		root, wirelen = res.Root, res.Wirelength
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	if err := eval.CheckTree(root, in); err != nil {
+		fatal(fmt.Errorf("tree validation failed: %w", err))
+	}
+	rep := eval.Analyze(root, in, core.DefaultModel(), in.Source)
+	fmt.Printf("instance:         %s (%d sinks, %d groups)\n", in.Name, len(in.Sinks), in.NumGroups)
+	fmt.Printf("algorithm:        %s\n", *algo)
+	fmt.Printf("wirelength:       %.0f\n", wirelen)
+	fmt.Printf("global skew:      %.2f ps\n", rep.GlobalSkew)
+	fmt.Printf("max group skew:   %.2f ps\n", rep.MaxGroupSkew)
+	fmt.Printf("delay range:      %.1f .. %.1f ps\n", rep.MinDelay, rep.MaxDelay)
+
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			fatal(err)
+		}
+		opt := svgplot.Options{Title: fmt.Sprintf("%s / %s", in.Name, *algo), ShowRegions: *regions}
+		if err := svgplot.Render(f, root, in, opt); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("svg:              %s\n", *svgPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "astdme:", err)
+	os.Exit(1)
+}

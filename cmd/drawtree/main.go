@@ -1,0 +1,85 @@
+// Command drawtree renders side-by-side SVGs of the algorithms on one
+// instance, the quickest way to *see* the thesis's Fig. 2 phenomenon: the
+// stitch baseline's overlapping per-group trees versus AST-DME's shared
+// routing.
+//
+// Usage:
+//
+//	drawtree -in inst.json -dir out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/ctree"
+	"repro/internal/instio"
+	"repro/internal/stitch"
+	"repro/internal/svgplot"
+)
+
+func main() {
+	var (
+		inPath = flag.String("in", "", "instance JSON file (required)")
+		outDir = flag.String("dir", ".", "output directory")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	in, err := instio.LoadInstance(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	type run struct {
+		name string
+		root *ctree.Node
+		wire float64
+	}
+	var runs []run
+
+	ast, err := core.Build(in, core.Options{IntraSkewBound: 10})
+	if err != nil {
+		fatal(err)
+	}
+	runs = append(runs, run{"ast-dme", ast.Root, ast.Wirelength})
+
+	ext, err := core.EXTBST(in, 10, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	runs = append(runs, run{"ext-bst", ext.Root, ext.Wirelength})
+
+	st, err := stitch.Build(in, stitch.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	runs = append(runs, run{"stitch", st.Root, st.Wirelength})
+
+	for _, r := range runs {
+		path := filepath.Join(*outDir, fmt.Sprintf("%s-%s.svg", in.Name, r.name))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		title := fmt.Sprintf("%s / %s — wire %.0f", in.Name, r.name, r.wire)
+		if err := svgplot.Render(f, r.root, in, svgplot.Options{Title: title}); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s wire %12.0f -> %s\n", r.name, r.wire, path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drawtree:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command instancegen synthesizes clock routing benchmark instances: the
+// r1–r5 suite of the thesis's experiments (see DESIGN.md §3 for the
+// substitution rationale) or custom sizes, with clustered or intermingled
+// sink groups.
+//
+// Usage:
+//
+//	instancegen -circuit r3 -groups 8 -mode intermingled -o r3k8.json
+//	instancegen -sinks 500 -groups 4 -mode clustered -seed 7 -o custom.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/ctree"
+	"repro/internal/instio"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "", "suite circuit name (r1..r5); overrides -sinks")
+		sinks   = flag.Int("sinks", 300, "number of sinks for a custom instance")
+		groups  = flag.Int("groups", 1, "number of sink groups")
+		mode    = flag.String("mode", "intermingled", "grouping mode: clustered | intermingled")
+		seed    = flag.Int64("seed", 1, "random seed for custom instances and intermingled grouping")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var in *ctree.Instance
+	if *circuit != "" {
+		sp, err := bench.BySuiteName(*circuit)
+		if err != nil {
+			fatal(err)
+		}
+		in = bench.Generate(sp)
+	} else {
+		in = bench.Small(*sinks, *seed)
+	}
+
+	if *groups > 1 {
+		switch *mode {
+		case "clustered":
+			in = bench.Clustered(in, *groups)
+		case "intermingled":
+			in = bench.Intermingled(in, *groups, *seed*101)
+		default:
+			fatal(fmt.Errorf("unknown mode %q", *mode))
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := instio.WriteInstance(w, in); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d sinks, %d groups\n", in.Name, len(in.Sinks), in.NumGroups)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "instancegen:", err)
+	os.Exit(1)
+}

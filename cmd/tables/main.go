@@ -1,0 +1,58 @@
+// Command tables regenerates the thesis's evaluation tables: Table I
+// (clusters of sink groups) and Table II (intermingled sink groups), each
+// comparing AST-DME against the EXT-BST baseline on the r1–r5 circuits.
+//
+// Usage:
+//
+//	tables              # both tables, full suite (minutes)
+//	tables -table 2     # only Table II
+//	tables -quick       # r1–r2 only (seconds), for smoke runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		table   = flag.Int("table", 0, "which table to run: 1, 2, or 0 for both")
+		quick   = flag.Bool("quick", false, "run only r1–r2")
+		repeats = flag.Int("repeats", 1, "grouping seeds per intermingled row (means reported)")
+	)
+	flag.Parse()
+
+	circuits := bench.Suite()
+	if *quick {
+		circuits = circuits[:2]
+	}
+
+	run := func(no int, grouping experiments.Grouping) {
+		rows, err := experiments.TableRepeated(grouping, circuits, experiments.GroupCounts, *repeats)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		title := fmt.Sprintf("Table %s — EXT-BST vs AST-DME with %s sink groups (thesis Ch. VI)",
+			roman(no), grouping)
+		experiments.WriteTable(os.Stdout, title, rows)
+		fmt.Println()
+	}
+	if *table == 0 || *table == 1 {
+		run(1, experiments.Clustered)
+	}
+	if *table == 0 || *table == 2 {
+		run(2, experiments.Intermingled)
+	}
+}
+
+func roman(n int) string {
+	if n == 1 {
+		return "I"
+	}
+	return "II"
+}

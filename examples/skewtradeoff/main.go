@@ -1,0 +1,48 @@
+// Skew/wirelength trade-off (thesis Fig. 1): sweeps the global skew bound of
+// bounded-skew routing from exact zero skew to effectively unconstrained and
+// prints the resulting wirelength — the curve whose two endpoints Fig. 1
+// contrasts (zero-skew wirelength 17 vs bounded-skew 16 on the thesis's toy
+// example, reproduced exactly in the experiments package tests).
+//
+//	go run ./examples/skewtradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+)
+
+func main() {
+	// The thesis's toy example first, under the pathlength model.
+	fig1, err := experiments.Fig1(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("thesis Fig.1 instance (pathlength model):\n")
+	fmt.Printf("  zero skew:        wire %.1f, skew %.1f\n", fig1.ZSTWire, fig1.ZSTSkew)
+	fmt.Printf("  bounded skew (%g): wire %.1f, skew %.1f\n\n", fig1.Bound, fig1.BSTWire, fig1.BSTSkew)
+
+	// The full curve on a realistic circuit under the Elmore model.
+	in := bench.Small(400, 17)
+	zstWire := 0.0
+	fmt.Printf("bounded-skew trade-off, 400 sinks (Elmore model):\n")
+	fmt.Printf("%10s %12s %12s %10s\n", "bound(ps)", "wire", "vs ZST", "skew(ps)")
+	for _, bound := range []float64{0, 5, 10, 25, 50, 100, 250, 500, 1000, 2500} {
+		res, err := core.EXTBST(in, bound, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if bound == 0 {
+			zstWire = res.Wirelength
+		}
+		rep := eval.Analyze(res.Root, in, core.DefaultModel(), in.Source)
+		fmt.Printf("%10.0f %12.0f %+11.2f%% %10.1f\n",
+			bound, res.Wirelength, 100*(res.Wirelength-zstWire)/zstWire, rep.GlobalSkew)
+	}
+	fmt.Println("\n(the relaxed bound buys wirelength — the BST mechanism AST-DME applies per group)")
+}

@@ -1,0 +1,56 @@
+// Delay-model validation (thesis Ch. III): routes a tree with the Elmore
+// model, then re-simulates it with the spicelite transient RC solver and
+// compares delays and skews — reproducing the thesis's argument that Elmore
+// delay errors largely cancel when computing skew.
+//
+//	go run ./examples/validate
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/spicelite"
+)
+
+func main() {
+	in := bench.Small(60, 5)
+	res, err := core.ZST(in, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := eval.Analyze(res.Root, in, core.DefaultModel(), in.Source)
+
+	sim, err := spicelite.Simulate(res.Root, in, spicelite.Params{
+		ROhmPerUnit: 0.1, CFFPerUnit: 0.02,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var maxErr, meanEl, meanTr float64
+	for id := range in.Sinks {
+		el, tr := rep.SinkDelay[id], sim.Delay[id]
+		meanEl += el
+		meanTr += tr
+		maxErr = math.Max(maxErr, math.Abs(el-tr))
+	}
+	n := float64(len(in.Sinks))
+	meanEl /= n
+	meanTr /= n
+
+	fmt.Printf("zero-skew tree, %d sinks, %d RC nodes simulated\n\n", len(in.Sinks), sim.Nodes)
+	fmt.Printf("%-28s %12s %12s\n", "", "Elmore", "transient")
+	fmt.Printf("%-28s %10.1f ps %10.1f ps\n", "mean sink delay", meanEl, meanTr)
+	fmt.Printf("%-28s %10.2f ps %10.2f ps\n", "skew (max-min)", rep.GlobalSkew, sim.Skew())
+	fmt.Printf("\nworst per-sink delay error: %.1f ps (%.1f%% of delay)\n",
+		maxErr, 100*maxErr/meanTr)
+	fmt.Printf("skew error:                 %.2f ps (%.3f%% of delay)\n",
+		math.Abs(rep.GlobalSkew-sim.Skew()), 100*math.Abs(rep.GlobalSkew-sim.Skew())/meanTr)
+	fmt.Println("\nthe delay error is large, the skew error tiny — the cancellation the")
+	fmt.Println("thesis relies on to justify Elmore-based skew management (Ch. III)")
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSuiteSinkCounts(t *testing.T) {
+	want := map[string]int{"r1": 267, "r2": 598, "r3": 862, "r4": 1903, "r5": 3101}
+	suite := Suite()
+	if len(suite) != 5 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	for _, sp := range suite {
+		if want[sp.Name] != sp.Sinks {
+			t.Errorf("%s sinks = %d, want %d", sp.Name, sp.Sinks, want[sp.Name])
+		}
+		in := Generate(sp)
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", sp.Name, err)
+		}
+		if len(in.Sinks) != sp.Sinks {
+			t.Errorf("%s generated %d sinks", sp.Name, len(in.Sinks))
+		}
+		for _, s := range in.Sinks {
+			if s.Loc.X < 0 || s.Loc.X > sp.Side || s.Loc.Y < 0 || s.Loc.Y > sp.Side {
+				t.Fatalf("%s sink outside die", sp.Name)
+			}
+			if s.CapFF < minSinkCapFF || s.CapFF > maxSinkCapFF {
+				t.Fatalf("%s sink cap %v outside range", sp.Name, s.CapFF)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	sp, err := BySuiteName("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Generate(sp)
+	b := Generate(sp)
+	for i := range a.Sinks {
+		if a.Sinks[i] != b.Sinks[i] {
+			t.Fatal("generation is not deterministic")
+		}
+	}
+}
+
+func TestBySuiteNameUnknown(t *testing.T) {
+	if _, err := BySuiteName("r9"); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestClusteredGroupsAreSpatial(t *testing.T) {
+	base := Small(400, 5)
+	for _, k := range []int{1, 4, 6, 8, 10} {
+		in := Clustered(base, k)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if in.NumGroups != k {
+			t.Fatalf("k=%d: NumGroups=%d", k, in.NumGroups)
+		}
+		sizes := in.GroupSizes()
+		for g, n := range sizes {
+			if n == 0 {
+				t.Errorf("k=%d: group %d empty", k, g)
+			}
+		}
+		if k == 1 {
+			continue
+		}
+		// Spatial coherence: the average intra-group bounding box is much
+		// smaller than the die.
+		var area float64
+		for g := 0; g < k; g++ {
+			xmin, ymin := math.Inf(1), math.Inf(1)
+			xmax, ymax := math.Inf(-1), math.Inf(-1)
+			for _, s := range in.Sinks {
+				if s.Group != g {
+					continue
+				}
+				xmin = math.Min(xmin, s.Loc.X)
+				xmax = math.Max(xmax, s.Loc.X)
+				ymin = math.Min(ymin, s.Loc.Y)
+				ymax = math.Max(ymax, s.Loc.Y)
+			}
+			area += (xmax - xmin) * (ymax - ymin)
+		}
+		dieX, dieY, dieX2, dieY2 := boundsOf(in)
+		die := (dieX2 - dieX) * (dieY2 - dieY)
+		if area/float64(k) > die/float64(k)*1.5 {
+			t.Errorf("k=%d: clusters not spatially coherent (avg box %.3g vs die/k %.3g)",
+				k, area/float64(k), die/float64(k))
+		}
+	}
+}
+
+func TestIntermingledGroupsAreBalancedAndSpread(t *testing.T) {
+	base := Small(400, 6)
+	for _, k := range []int{2, 4, 10} {
+		in := Intermingled(base, k, 99)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		sizes := in.GroupSizes()
+		for g, n := range sizes {
+			if math.Abs(float64(n)-float64(len(in.Sinks))/float64(k)) > 1.5 {
+				t.Errorf("k=%d: group %d size %d not balanced", k, g, n)
+			}
+		}
+		// Intermingled: every group's bounding box spans most of the die.
+		x1, y1, x2, y2 := boundsOf(in)
+		for g := 0; g < k; g++ {
+			xmin, ymin := math.Inf(1), math.Inf(1)
+			xmax, ymax := math.Inf(-1), math.Inf(-1)
+			for _, s := range in.Sinks {
+				if s.Group != g {
+					continue
+				}
+				xmin = math.Min(xmin, s.Loc.X)
+				xmax = math.Max(xmax, s.Loc.X)
+				ymin = math.Min(ymin, s.Loc.Y)
+				ymax = math.Max(ymax, s.Loc.Y)
+			}
+			if (xmax-xmin) < 0.7*(x2-x1) || (ymax-ymin) < 0.7*(y2-y1) {
+				t.Errorf("k=%d: group %d not spread over the die", k, g)
+			}
+		}
+	}
+}
+
+func TestGroupingDoesNotMutateBase(t *testing.T) {
+	base := Small(50, 7)
+	orig := make([]int, 0, len(base.Sinks))
+	for _, s := range base.Sinks {
+		orig = append(orig, s.Group)
+	}
+	_ = Clustered(base, 4)
+	_ = Intermingled(base, 4, 1)
+	for i, s := range base.Sinks {
+		if s.Group != orig[i] {
+			t.Fatal("base instance mutated by grouping")
+		}
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	cases := map[int][2]int{4: {2, 2}, 6: {2, 3}, 8: {2, 4}, 10: {2, 5}, 9: {3, 3}, 7: {1, 7}}
+	for k, want := range cases {
+		r, c := gridShape(k)
+		if r != want[0] || c != want[1] {
+			t.Errorf("gridShape(%d) = %d×%d, want %d×%d", k, r, c, want[0], want[1])
+		}
+	}
+}
+
+func TestBlendInterpolates(t *testing.T) {
+	base := Small(300, 8)
+	for _, k := range []int{4, 6} {
+		clustered := Clustered(base, k)
+		zero := Blend(base, k, 0, 5)
+		// mix=0 must reproduce the clustered assignment (before re-fill).
+		diff := 0
+		for i := range zero.Sinks {
+			if zero.Sinks[i].Group != clustered.Sinks[i].Group {
+				diff++
+			}
+		}
+		if diff > 0 {
+			t.Errorf("k=%d: Blend(0) differs from Clustered in %d sinks", k, diff)
+		}
+		// mix=1 must scatter: most sinks leave their home rectangle's group.
+		one := Blend(base, k, 1, 5)
+		moved := 0
+		for i := range one.Sinks {
+			if one.Sinks[i].Group != clustered.Sinks[i].Group {
+				moved++
+			}
+		}
+		if float64(moved) < 0.5*float64(len(base.Sinks)) {
+			t.Errorf("k=%d: Blend(1) moved only %d sinks", k, moved)
+		}
+		for _, mix := range []float64{-1, 0.3, 2} {
+			in := Blend(base, k, mix, 9)
+			if err := in.Validate(); err != nil {
+				t.Fatalf("k=%d mix=%v: %v", k, mix, err)
+			}
+		}
+	}
+}

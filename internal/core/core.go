@@ -1,0 +1,1057 @@
+// Package core implements AST-DME, the associative-skew clock tree router of
+// the reproduced thesis (Kim, "Associative Skew Clock Routing for Difficult
+// Instances", Texas A&M, 2006), together with its degenerate single-group
+// modes: exact zero-skew DME (greedy-DME) and bounded-skew BST routing, whose
+// 10 ps-bound single-group form is the thesis's EXT-BST baseline.
+//
+// # Algorithm
+//
+// The router follows the AST-DME pseudocode of the thesis (Fig. 6). Starting
+// from one subtree per sink, it repeatedly merges the minimum-cost pair of
+// subtrees (see package order) until one tree remains, then embeds the tree
+// top-down (DME). Four mechanisms carry the thesis's ideas:
+//
+// *Windows.* Writing X = WireDelay(ea,Ca) − WireDelay(eb,Cb) for the delay
+// shift a merge applies between its two sides, each group g present in both
+// subtrees constrains X to the window
+//
+//	[ Db(g).Hi − Da(g).Lo − B ,  Db(g).Lo − Da(g).Hi + B ]
+//
+// where B is the intra-group skew bound (0 in the thesis's formulation).
+// Same-group merges (window a point at B=0) reproduce exact DME/Tsay
+// merging; merges of subtrees from different groups (no window) are free and
+// cost exactly the subtree distance — the shortest-distance-region merge of
+// thesis Fig. 3; partially-shared merges (Figs. 4, 5) intersect the windows
+// of all shared groups. Note the constraints are per *raw* group: merges of
+// subtrees with disjoint group sets stay free even after other subtrees have
+// related their groups, which is where the freedom on intermingled instances
+// lives.
+//
+// *Deferred splits.* A merge whose window leaves slack does not commit the
+// split of its wire between the two child edges; the node keeps the whole
+// feasible sub-region of the SDR (an octagon; see geom.SDR) — the thesis's
+// merging region, whose extent "implies a bounded range for the inter-group
+// skew". The split is pinned only when the node is merged again: without
+// constraints at the closest approach to the partner (the thesis's collapse
+// of a merging region to its nearest boundary, Ch. V.E), otherwise by a
+// joint search over both subtrees' split ranges that makes the shared
+// windows intersect — "find an intersection between the feasible merging
+// regions" (Fig. 5) — at the least committed cost.
+//
+// *Offset registry.* Whenever a node commits (resolves) while containing
+// several groups, the relative offsets among those groups are fixed inside
+// it; per thesis Ch. V.E.1 the groups involved "can be treated to form a new
+// group G1∪G2∪G3". A weighted union-find registers the first-committed
+// offset of every group pair, and merges of subtrees with *related* groups
+// are leashed to the registered offsets within
+// IntraSkewBound+InterSkewBound — without the leash, independently built
+// subtrees commit contradictory offsets whose reconciliation cost grows
+// without bound (measured during development; see DESIGN.md §2). Merges of
+// subtrees with disjoint raw group sets remain completely free: the
+// bottom-level freedom on intermingled instances.
+//
+// *Wire sneaking.* When the hard windows of a merge still conflict (two
+// subtrees committed contradictory offsets), the generalized form of thesis
+// Eqs. 5.1–5.3 elongates the incoming edges of the maximal pure-group
+// subtrees of the offending group — coherently shifting that group alone —
+// iterating the solve with full recomputation so the added snake capacitance
+// is coupled back exactly (the thesis solves the uncoupled system once, for
+// the single-edge case).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ctree"
+	"repro/internal/geom"
+	"repro/internal/order"
+	"repro/internal/rctree"
+)
+
+// Options configures a routing run. The zero value routes associative-skew
+// with zero intra-group bound under the default Elmore parameters.
+type Options struct {
+	// Model is the delay model; nil selects DefaultModel().
+	Model rctree.Model
+	// IntraSkewBound is the skew bound (ps) enforced within each group.
+	// The thesis's formulation uses 0 (exact zero intra-group skew).
+	IntraSkewBound float64
+	// InterSkewBound is the extra window (ps) within which committed
+	// inter-group offsets (the thesis's by-product skews S_{i,j}) may float
+	// around their first-registered values: related groups are leashed to
+	// within IntraSkewBound+InterSkewBound of the registered offsets. The
+	// thesis's merging regions imply such a data-dependent bounded range
+	// (Ch. V.D). The default 0 freezes offsets once committed, which keeps
+	// intra-group skew at the bound; positive values trade bounded
+	// intra-group degradation for extra placement freedom (ablation knob).
+	// Values < 0 remove the leash entirely (documented to destabilize the
+	// offset system; see DESIGN.md). Ignored in SingleGroup mode.
+	InterSkewBound float64
+	// SingleGroup ignores sink groups: all sinks form one group bounded by
+	// GlobalBound. SingleGroup+GlobalBound=0 is greedy-DME (ZST);
+	// SingleGroup+GlobalBound=10 is the thesis's EXT-BST baseline.
+	SingleGroup bool
+	// GlobalBound is the skew bound (ps) used in SingleGroup mode.
+	GlobalBound float64
+	// Order configures the merging order.
+	Order order.Config
+	// DelayTargetBias, when positive, enables the delay-target merging-order
+	// enhancement (thesis enhancement 2, after Chaturvedi–Hu): the pair
+	// priority becomes cost − bias·(meanDelay_i + meanDelay_j). Units are
+	// length per ps.
+	DelayTargetBias float64
+	// EndpointSplit disables split deferral at unconstrained merges and
+	// commits the e=0 endpoint instead (ablation knob: quantifies the value
+	// of keeping whole merging regions).
+	EndpointSplit bool
+	// PairConstraints optionally imposes inter-group skew ranges between
+	// specific group pairs — the "local bound" / prescribed-skew constraint
+	// forms of the thesis's introduction (its refs [5–7]); associative skew
+	// plus such ranges covers the whole taxonomy the thesis surveys. Each
+	// constraint is enforced through the merge windows whenever the two
+	// groups arrive on opposite sides of a merge (best effort otherwise;
+	// eval.PairSkews verifies the outcome).
+	PairConstraints []PairConstraint
+	// GroupOffsets, when non-nil, prescribes the inter-group skew targets
+	// S_{0,g} explicitly (the thesis's Ch. II: "we need to specify the
+	// inter-group skew S_{i,j} for all groups either implicitly or
+	// explicitly"): entry g is the desired delay of group g's sinks minus
+	// group 0's, in ps. Must have length NumGroups with entry 0 == 0. The
+	// offsets are enforced within IntraSkewBound+InterSkewBound. Nil lets
+	// the router commit offsets implicitly as merging proceeds (the
+	// thesis's default).
+	GroupOffsets []float64
+	// MaxSneakIter caps the coupled wire-sneaking iterations per merge
+	// (default 8).
+	MaxSneakIter int
+	// SneakCostCap aborts a sneak whose wire exceeds this multiple of the
+	// merge distance, falling back to the least-violation compromise
+	// (default 8).
+	SneakCostCap float64
+}
+
+// PairConstraint bounds the signed inter-group skew delay(J) − delay(I)
+// to [MinPs, MaxPs].
+type PairConstraint struct {
+	I, J         int
+	MinPs, MaxPs float64
+}
+
+// DefaultModel returns the Elmore model used throughout the experiments:
+// 0.1 Ω and 0.02 fF per unit length. The values are calibrated (DESIGN.md §3)
+// so the synthetic r1–r5 instances see source-to-sink delays of tens of ns
+// and leaf-level merge imbalances of tens of ps, matching the regime of the
+// thesis's experiments where the 10 ps EXT-BST bound is tight.
+func DefaultModel() rctree.Model { return rctree.NewElmore(0.1, 0.02) }
+
+// Stats counts notable events of a routing run.
+type Stats struct {
+	// Merges is the total number of subtree merges (n−1).
+	Merges int
+	// SameGroup, CrossGroup, Shared classify merges by the thesis's cases:
+	// both subtrees from one raw group / no shared raw group / some shared.
+	SameGroup, CrossGroup, Shared int
+	// Deferred counts merges that kept their split open over a region.
+	Deferred int
+	// GroupUnions counts group-pair offset registrations.
+	GroupUnions int
+	// MergeSnakes counts merges that snaked the new edges beyond distance d.
+	MergeSnakes int
+	// SneakEvents counts wire-sneaking adjustments on interior handle edges;
+	// SneakWire is their total added wirelength.
+	SneakEvents int
+	SneakWire   float64
+	// SneakUnresolved counts merges where sneaking could not (affordably)
+	// reconcile conflicting windows; the residual intra-group skew is then
+	// observable via package eval.
+	SneakUnresolved int
+}
+
+// Result is a completed routing.
+type Result struct {
+	// Instance is the routed instance (with its original groups, even in
+	// SingleGroup mode).
+	Instance *ctree.Instance
+	// Root is the embedded merge tree.
+	Root *ctree.Node
+	// SourceWire is the wirelength from the clock source to the tree root.
+	SourceWire float64
+	// Wirelength is the total committed wirelength including SourceWire.
+	Wirelength float64
+	// Options echoes the configuration used.
+	Options Options
+	// Stats describes the run.
+	Stats Stats
+}
+
+// Build routes the instance and returns the embedded tree.
+func Build(in *ctree.Instance, opt Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Model == nil {
+		opt.Model = DefaultModel()
+	}
+	if opt.MaxSneakIter <= 0 {
+		opt.MaxSneakIter = 8
+	}
+	if opt.SneakCostCap <= 0 {
+		opt.SneakCostCap = 8
+	}
+
+	if opt.GroupOffsets != nil {
+		if opt.SingleGroup {
+			return nil, fmt.Errorf("core: GroupOffsets is incompatible with SingleGroup")
+		}
+		if len(opt.GroupOffsets) != in.NumGroups {
+			return nil, fmt.Errorf("core: GroupOffsets has %d entries for %d groups",
+				len(opt.GroupOffsets), in.NumGroups)
+		}
+		if opt.GroupOffsets[0] != 0 {
+			return nil, fmt.Errorf("core: GroupOffsets[0] must be 0 (the reference group)")
+		}
+	}
+
+	for _, pc := range opt.PairConstraints {
+		if pc.I < 0 || pc.I >= in.NumGroups || pc.J < 0 || pc.J >= in.NumGroups || pc.I == pc.J {
+			return nil, fmt.Errorf("core: pair constraint (%d,%d) out of range", pc.I, pc.J)
+		}
+		if pc.MinPs > pc.MaxPs {
+			return nil, fmt.Errorf("core: pair constraint (%d,%d) has Min > Max", pc.I, pc.J)
+		}
+	}
+
+	b := &builder{opt: opt, in: in, uf: newGroupUF(in.NumGroups)}
+	if opt.GroupOffsets != nil {
+		// Pre-register all offsets relative to group 0: every subsequent
+		// merge of related subtrees enforces the prescribed targets through
+		// the registry leash.
+		for g := 1; g < in.NumGroups; g++ {
+			b.uf.union(0, g, opt.GroupOffsets[g])
+			b.stats.GroupUnions++
+		}
+	}
+	b.run()
+
+	res := &Result{
+		Instance:   in,
+		Root:       b.root,
+		SourceWire: geom.DistRP(b.root.Region, geom.ToUV(in.Source)),
+		Options:    opt,
+		Stats:      b.stats,
+	}
+	res.Wirelength = b.root.Wirelength() + res.SourceWire
+	res.Root.Embed(geom.ToUV(in.Source))
+	return res, nil
+}
+
+// ZST routes ignoring groups with exact zero global skew (greedy-DME).
+func ZST(in *ctree.Instance, opt Options) (*Result, error) {
+	opt.SingleGroup = true
+	opt.GlobalBound = 0
+	return Build(in, opt)
+}
+
+// EXTBST routes ignoring groups under a global skew bound — the thesis's
+// extended greedy-BST baseline ("simply set bounded skew range as 10 ps and
+// run the EXT-BST algorithm").
+func EXTBST(in *ctree.Instance, boundPs float64, opt Options) (*Result, error) {
+	opt.SingleGroup = true
+	opt.GlobalBound = boundPs
+	return Build(in, opt)
+}
+
+// groupUF is a weighted union-find over sink groups recording, softly, the
+// first-committed delay offset of every related group pair. The normalized
+// delay of group g is its subtree delay minus its cumulative offset, so two
+// related groups compare on a common scale.
+type groupUF struct {
+	parent []int
+	off    []float64
+}
+
+func newGroupUF(n int) *groupUF {
+	u := &groupUF{parent: make([]int, n), off: make([]float64, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// find returns g's union root and the cumulative offset of g relative to it,
+// compressing paths.
+func (u *groupUF) find(g int) (root int, off float64) {
+	if u.parent[g] == g {
+		return g, 0
+	}
+	r, o := u.find(u.parent[g])
+	u.parent[g] = r
+	u.off[g] += o
+	return r, u.off[g]
+}
+
+// union merges the root rb into ra such that a group with normalized delay
+// nb under rb gets normalized delay nb − rel under ra.
+func (u *groupUF) union(ra, rb int, rel float64) {
+	u.parent[rb] = ra
+	u.off[rb] = rel
+}
+
+type builder struct {
+	opt   Options
+	in    *ctree.Instance
+	uf    *groupUF
+	nodes []*ctree.Node
+	root  *ctree.Node
+	stats Stats
+}
+
+// boundOf returns the intra-group skew bound used for routing.
+func (b *builder) boundOf() float64 {
+	if b.opt.SingleGroup {
+		return b.opt.GlobalBound
+	}
+	return b.opt.IntraSkewBound
+}
+
+// interBound returns the inter-group spread window, +Inf when disabled.
+// In SingleGroup mode the single group's bound already covers everything.
+func (b *builder) interBound() float64 {
+	if b.opt.SingleGroup {
+		return math.Inf(1)
+	}
+	if b.opt.InterSkewBound < 0 {
+		return math.Inf(1)
+	}
+	return b.opt.InterSkewBound
+}
+
+// normalize aggregates a raw per-group delay map into per-union-root
+// intervals on the registry's normalized (offset-corrected) scale.
+func (b *builder) normalize(delay map[int]rctree.Interval) map[int]rctree.Interval {
+	out := make(map[int]rctree.Interval, len(delay))
+	for g, iv := range delay {
+		r, off := b.uf.find(g)
+		niv := iv.Shift(-off)
+		if prev, ok := out[r]; ok {
+			out[r] = rctree.Cover(prev, niv)
+		} else {
+			out[r] = niv
+		}
+	}
+	return out
+}
+
+// constraint identifies one hard window of a merge.
+type constraint struct {
+	// raw is true for an intra-group constraint on a shared raw group;
+	// false for a consistency leash on a shared union root.
+	raw bool
+	// id is the raw group or the union root.
+	id int
+}
+
+// forConstraints invokes f for every hard constraint of a merge between
+// subtrees with the given raw delay maps:
+//
+//   - one window per shared raw group, at the intra-group bound B — the
+//     thesis's skew constraints proper; and
+//   - one window per shared union root on the registry-normalized scale, at
+//     the leash bound B + W: the committed inter-group offsets of related
+//     groups may float within the inter-group window W of their registered
+//     values (the thesis's "bounded range" implied by its merging regions),
+//     which keeps independently built subtrees consistent without freezing
+//     the offsets outright.
+func (b *builder) forConstraints(da, db map[int]rctree.Interval, shared []int,
+	f func(c constraint, ia, ib rctree.Interval, bound float64)) {
+	bd := b.boundOf()
+	for _, g := range shared {
+		f(constraint{raw: true, id: g}, da[g], db[g], bd)
+	}
+	// Explicit inter-group pair constraints: delay(J) − delay(I) ∈ [lo, hi],
+	// enforceable here when the two groups sit on opposite sides. With I on
+	// side a and J on side b the post-merge difference is
+	// (db[J]+wb) − (da[I]+wa) = (db[J] − da[I]) − X, giving the X window
+	// [db[J].Hi − da[I].Lo − hi, db[J].Lo − da[I].Hi − lo]; mirrored when J
+	// is on side a. Encoded through f by shifting the J interval: the window
+	// formula f applies to (ia, ib, bound) is
+	// [ib.Hi − ia.Lo − bound, ib.Lo − ia.Hi + bound], so passing
+	// ib' = db[J] − (lo+hi)/2 and bound (hi−lo)/2 reproduces it exactly.
+	for _, pc := range b.opt.PairConstraints {
+		mid := (pc.MinPs + pc.MaxPs) / 2
+		half := (pc.MaxPs - pc.MinPs) / 2
+		if ia, ok := da[pc.I]; ok {
+			if ib, ok := db[pc.J]; ok {
+				f(constraint{raw: false, id: -1}, ia, ib.Shift(-mid), half)
+			}
+		}
+		if ja, ok := da[pc.J]; ok {
+			if ib, ok := db[pc.I]; ok {
+				f(constraint{raw: false, id: -1}, ja.Shift(-mid), ib, half)
+			}
+		}
+	}
+
+	w := b.interBound()
+	if math.IsInf(w, 1) {
+		return
+	}
+	na := b.normalize(da)
+	nb := b.normalize(db)
+	for r, ia := range na {
+		if ib, ok := nb[r]; ok {
+			f(constraint{raw: false, id: r}, ia, ib, bd+w)
+		}
+	}
+}
+
+func (b *builder) run() {
+	n := len(b.in.Sinks)
+	b.nodes = make([]*ctree.Node, 0, 2*n-1)
+	for i := range b.in.Sinks {
+		s := &b.in.Sinks[i]
+		leaf := ctree.NewLeaf(s)
+		if b.opt.SingleGroup {
+			leaf.Groups = []int{0}
+			leaf.Delay = map[int]rctree.Interval{0: rctree.PointInterval(0)}
+		}
+		b.nodes = append(b.nodes, leaf)
+	}
+	if n == 1 {
+		b.root = b.nodes[0]
+		return
+	}
+
+	dist := func(i, j int) float64 {
+		return geom.DistOO(b.nodes[i].ActiveRegion(), b.nodes[j].ActiveRegion())
+	}
+	ocfg := b.opt.Order
+	if ocfg.Key == nil {
+		bias := b.opt.DelayTargetBias
+		ocfg.Key = func(i, j int, d float64) float64 {
+			k := b.mergeKey(i, j, d)
+			if bias > 0 {
+				di := b.overallOf(b.nodes[i])
+				dj := b.overallOf(b.nodes[j])
+				k -= bias * ((di.Lo+di.Hi)/2 + (dj.Lo+dj.Hi)/2)
+			}
+			return k
+		}
+	}
+	q := order.New(ocfg, n, dist)
+	for {
+		i, j, ok := q.Next()
+		if !ok {
+			break
+		}
+		c := b.merge(b.nodes[i], b.nodes[j])
+		c.ID = len(b.nodes)
+		b.nodes = append(b.nodes, c)
+		q.Merged(c.ID)
+	}
+	b.root = b.nodes[len(b.nodes)-1]
+	if b.root.Deferred {
+		src := geom.OctFromUV(geom.ToUV(b.in.Source))
+		q, _ := geom.ClosestPoints(b.root.DefRegion, src)
+		b.resolve(b.root, geom.DistRP(b.root.Left.Region, q))
+	}
+}
+
+// resolve pins a deferred node and registers the group-offset commitments it
+// makes with the soft registry.
+func (b *builder) resolve(n *ctree.Node, e float64) {
+	if !n.Deferred {
+		return
+	}
+	n.Resolve(b.opt.Model, e)
+	b.registerOffsets(n)
+}
+
+// registerOffsets records, for a just-committed node spanning several
+// groups, the first-seen relative offsets between previously unrelated
+// groups (thesis Ch. V.E.1: the involved groups form a new merged group).
+func (b *builder) registerOffsets(n *ctree.Node) {
+	type ref struct {
+		root int
+		norm float64
+	}
+	var first *ref
+	for _, g := range n.Groups { // sorted: keeps runs deterministic
+		iv, ok := n.Delay[g]
+		if !ok {
+			continue
+		}
+		r, off := b.uf.find(g)
+		norm := (iv.Lo+iv.Hi)/2 - off
+		if first == nil {
+			first = &ref{root: r, norm: norm}
+			continue
+		}
+		if r == first.root {
+			continue
+		}
+		b.uf.union(first.root, r, norm-first.norm)
+		b.stats.GroupUnions++
+	}
+}
+
+// overallOf returns the node's overall delay interval; for deferred nodes it
+// evaluates the midpoint split without committing it.
+func (b *builder) overallOf(n *ctree.Node) rctree.Interval {
+	if !n.Deferred {
+		return n.OverallDelay()
+	}
+	m := b.opt.Model
+	e := mid(n.SplitRange())
+	l := n.Left.OverallDelay().Shift(m.WireDelay(e, n.Left.Cap))
+	r := n.Right.OverallDelay().Shift(m.WireDelay(n.DefD-e, n.Right.Cap))
+	return rctree.Cover(l, r)
+}
+
+// mergeKey estimates the wirelength a merge of nodes i and j would commit:
+// their region distance plus, when they share a group, the snaking excess
+// implied by their current delay imbalance. Using this as the greedy merging
+// cost (instead of bare distance) reproduces greedy-DME's minimum-cost order
+// and prevents delay-imbalanced pairings that fat deferred regions would
+// otherwise chain together.
+func (b *builder) mergeKey(i, j int, d float64) float64 {
+	// In exact zero-skew single-group mode no region is ever fat, chaining
+	// cannot occur, and the classic distance order is empirically better.
+	if b.opt.SingleGroup && b.opt.GlobalBound == 0 {
+		return d
+	}
+	na, nb := b.nodes[i], b.nodes[j]
+	var bound float64
+	switch {
+	case len(ctree.SharedGroups(na.Groups, nb.Groups)) > 0:
+		bound = b.boundOf()
+	case b.relatedRoots(na, nb):
+		bound = b.boundOf() + b.interBound()
+	default:
+		return d
+	}
+	if math.IsInf(bound, 1) {
+		return d
+	}
+	m := b.opt.Model
+	ia := b.overallOf(na)
+	ib := b.overallOf(nb)
+	xLo := ib.Hi - ia.Lo - bound
+	xHi := ib.Lo - ia.Hi + bound
+	x0 := -m.WireDelay(d, nb.Cap)
+	xd := m.WireDelay(d, na.Cap)
+	switch {
+	case xHi < x0:
+		return d + math.Max(math.Max(m.ExtendForDelay(nb.Cap, -xHi), d)-d, 0)
+	case xLo > xd:
+		return d + math.Max(math.Max(m.ExtendForDelay(na.Cap, xLo), d)-d, 0)
+	default:
+		return d
+	}
+}
+
+// merge performs one AST-DME merge of subtrees a and b (thesis Fig. 6,
+// steps 4–7) and returns the new subtree root.
+func (b *builder) merge(na, nb *ctree.Node) *ctree.Node {
+	m := b.opt.Model
+	bound := b.boundOf()
+	shared := ctree.SharedGroups(na.Groups, nb.Groups)
+	b.stats.Merges++
+	switch {
+	case len(shared) == 0:
+		b.stats.CrossGroup++
+	case len(na.Groups) == 1 && len(nb.Groups) == 1:
+		b.stats.SameGroup++
+	default:
+		b.stats.Shared++
+	}
+
+	// Pin any deferred splits. With constraints between the pair the splits
+	// are chosen jointly so the windows intersect at the least committed
+	// cost; otherwise the closest approach decides.
+	if na.Deferred || nb.Deferred {
+		if len(shared) > 0 || (!math.IsInf(b.interBound(), 1) && b.relatedRoots(na, nb)) {
+			b.jointResolve(na, nb, shared, bound)
+		} else {
+			qa, qb := geom.ClosestPoints(na.ActiveRegion(), nb.ActiveRegion())
+			if na.Deferred {
+				b.resolve(na, geom.DistRP(na.Left.Region, qa))
+			}
+			if nb.Deferred {
+				b.resolve(nb, geom.DistRP(nb.Left.Region, qb))
+			}
+		}
+	}
+
+	// Intersect the hard windows (shared raw groups + inter-group window),
+	// wire-sneaking when they conflict (thesis Fig. 5 / Eqs. 5.1–5.3).
+	xLo, xHi, compromised := b.intersectWindows(na, nb, shared)
+
+	d := geom.DistRR(na.Region, nb.Region)
+	c := &ctree.Node{
+		Left: na, Right: nb,
+		Cap:    na.Cap + nb.Cap,
+		Groups: ctree.UnionGroups(na.Groups, nb.Groups),
+	}
+
+	eLo, eHi, snaked := b.splitWindow(na, nb, d, xLo, xHi, compromised)
+	if snaked {
+		b.stats.MergeSnakes++
+	}
+	const widthEps = 1e-9
+	if !snaked && eHi-eLo > widthEps*(1+d) {
+		// Keep the whole feasible sub-region of the SDR; the split commits
+		// when this node is next merged (or at the tree root).
+		c.Deferred = true
+		c.DefD = d
+		c.DefELo, c.DefEHi = eLo, eHi
+		c.DefRegion = geom.SDR(na.Region, nb.Region, d, eLo, eHi)
+		c.Cap += m.WireCap(d)
+		b.stats.Deferred++
+	} else {
+		ea, eb := eLo, d-eLo
+		if snaked {
+			// splitWindow returns committed lengths through eLo/eHi when
+			// snaking: eLo is ea, eHi is eb.
+			ea, eb = eLo, eHi
+		}
+		c.EdgeL, c.EdgeR = ea, eb
+		c.Region = geom.MergeLocus(na.Region, nb.Region, ea, eb)
+		c.Cap += m.WireCap(ea) + m.WireCap(eb)
+		wa := m.WireDelay(ea, na.Cap)
+		wb := m.WireDelay(eb, nb.Cap)
+		c.Delay = make(map[int]rctree.Interval, len(na.Groups)+len(nb.Groups))
+		for g, iv := range na.Delay {
+			c.Delay[g] = iv.Shift(wa)
+		}
+		for g, iv := range nb.Delay {
+			if prev, ok := c.Delay[g]; ok {
+				c.Delay[g] = rctree.Cover(prev, iv.Shift(wb))
+			} else {
+				c.Delay[g] = iv.Shift(wb)
+			}
+		}
+		b.registerOffsets(c)
+	}
+	return c
+}
+
+func mid(lo, hi float64) float64 { return (lo + hi) / 2 }
+
+// windowGap evaluates candidate splits (ea, eb) of the two nodes against the
+// upcoming merge. It returns the infeasibility gap (ps) of the intersected
+// hard-window system (0 when the windows intersect) and the cost the merge
+// would commit: the candidate distance, plus any snaking excess needed to
+// reach the window, minus a small preference for wide residual windows.
+func (b *builder) windowGap(na, nb *ctree.Node, shared []int, bound, ea, eb float64) (gap, cost, misalign float64) {
+	m := b.opt.Model
+	da := na.DelayAt(m, ea)
+	db := nb.DelayAt(m, eb)
+	xLo, xHi := math.Inf(-1), math.Inf(1)
+	b.forConstraints(da, db, shared, func(_ constraint, ia, ib rctree.Interval, bd float64) {
+		if lo := ib.Hi - ia.Lo - bd; lo > xLo {
+			xLo = lo
+		}
+		if hi := ib.Lo - ia.Hi + bd; hi < xHi {
+			xHi = hi
+		}
+	})
+	gap = math.Max(xLo-xHi, 0)
+	d := geom.DistRR(na.RectAt(ea), nb.RectAt(eb))
+	cost = d
+
+	// Tertiary criterion: the merge applies a single shift X to all shared
+	// union roots, so if the per-root required shifts disagree, whatever X
+	// is chosen commits offsets away from their registered values. The
+	// spread of the required shifts measures that inevitable drift; small
+	// spread keeps the global offset system consistent and cheap.
+	{
+		va := b.normalize(da)
+		vb := b.normalize(db)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for r, ia := range va {
+			if ib, ok := vb[r]; ok {
+				s := (ib.Lo+ib.Hi)/2 - (ia.Lo+ia.Hi)/2
+				lo = math.Min(lo, s)
+				hi = math.Max(hi, s)
+			}
+		}
+		if hi > lo {
+			misalign = hi - lo
+		}
+	}
+
+	// Snaking excess: wire beyond d needed to shift X into the hard window.
+	capA, capB := na.Cap, nb.Cap
+	x0 := -m.WireDelay(d, capB)
+	xd := m.WireDelay(d, capA)
+	switch {
+	case xHi < x0:
+		cost += math.Max(m.ExtendForDelay(capB, -xHi), d) - d
+	case xLo > xd:
+		cost += math.Max(m.ExtendForDelay(capA, xLo), d) - d
+	default:
+		// Prefer keeping a wide residual window: subtract the overlap width
+		// mapped to split units, weighted well below one wire unit so it
+		// only breaks ties among near-equal costs.
+		overlap := math.Min(xHi, xd) - math.Max(xLo, x0)
+		slope := m.WireDelay(d, capA) + m.WireDelay(d, capB)
+		if d > 0 && slope > 0 && !math.IsInf(overlap, 1) {
+			cost -= 0.01 * d * math.Min(overlap/slope, 1)
+		}
+	}
+	return gap, cost, misalign
+}
+
+// relatedRoots reports whether the registry relates any group of na to any
+// group of nb.
+func (b *builder) relatedRoots(na, nb *ctree.Node) bool {
+	seen := make(map[int]bool, len(na.Groups))
+	for _, g := range na.Groups {
+		r, _ := b.uf.find(g)
+		seen[r] = true
+	}
+	for _, g := range nb.Groups {
+		if r, _ := b.uf.find(g); seen[r] {
+			return true
+		}
+	}
+	return false
+}
+
+// jointResolve pins the deferred splits of na and nb so the hard windows of
+// the upcoming merge intersect if at all possible, minimizing
+// (infeasibility gap, committed cost) lexicographically: a coarse grid
+// search followed by alternating golden-section polish per axis.
+func (b *builder) jointResolve(na, nb *ctree.Node, shared []int, bound float64) {
+	aLo, aHi := na.SplitRange()
+	bLo, bHi := nb.SplitRange()
+	bestA, bestB := mid(aLo, aHi), mid(bLo, bHi)
+	bestGap, bestCost, bestMis := b.windowGap(na, nb, shared, bound, bestA, bestB)
+
+	consider := func(ea, eb float64) {
+		gap, cost, mis := b.windowGap(na, nb, shared, bound, ea, eb)
+		epsG := 1e-9 * (1 + bestGap)
+		epsC := 1e-6 * (1 + math.Abs(bestCost))
+		switch {
+		case gap < bestGap-epsG,
+			gap <= bestGap+epsG && cost < bestCost-epsC,
+			gap <= bestGap+epsG && cost <= bestCost+epsC && mis < bestMis:
+			bestGap, bestCost, bestMis = gap, cost, mis
+			bestA, bestB = ea, eb
+		}
+	}
+
+	const coarse = 13
+	samples := func(lo, hi float64) []float64 {
+		if hi-lo <= 0 {
+			return []float64{lo}
+		}
+		out := make([]float64, coarse)
+		for i := range out {
+			out[i] = lo + (hi-lo)*float64(i)/float64(coarse-1)
+		}
+		return out
+	}
+	for _, ea := range samples(aLo, aHi) {
+		for _, eb := range samples(bLo, bHi) {
+			consider(ea, eb)
+		}
+	}
+
+	// Alternating golden-section polish per axis, on the same lexicographic
+	// (gap, cost, misalignment) criterion.
+	golden := func(lo, hi float64, f func(float64) (float64, float64, float64)) float64 {
+		if hi-lo <= 0 {
+			return lo
+		}
+		const phi = 0.6180339887498949
+		x1 := hi - phi*(hi-lo)
+		x2 := lo + phi*(hi-lo)
+		f1g, f1c, f1m := f(x1)
+		f2g, f2c, f2m := f(x2)
+		better := func(g1, c1, m1, g2, c2, m2 float64) bool {
+			if g1 != g2 {
+				return g1 < g2
+			}
+			if c1 != c2 {
+				return c1 < c2
+			}
+			return m1 < m2
+		}
+		for it := 0; it < 40 && hi-lo > 1e-9*(1+hi); it++ {
+			if better(f1g, f1c, f1m, f2g, f2c, f2m) {
+				hi, x2, f2g, f2c, f2m = x2, x1, f1g, f1c, f1m
+				x1 = hi - phi*(hi-lo)
+				f1g, f1c, f1m = f(x1)
+			} else {
+				lo, x1, f1g, f1c, f1m = x1, x2, f2g, f2c, f2m
+				x2 = lo + phi*(hi-lo)
+				f2g, f2c, f2m = f(x2)
+			}
+		}
+		return mid(lo, hi)
+	}
+	for round := 0; round < 2; round++ {
+		if na.Deferred {
+			ea := golden(aLo, aHi, func(e float64) (float64, float64, float64) {
+				return b.windowGap(na, nb, shared, bound, e, bestB)
+			})
+			consider(ea, bestB)
+		}
+		if nb.Deferred {
+			eb := golden(bLo, bHi, func(e float64) (float64, float64, float64) {
+				return b.windowGap(na, nb, shared, bound, bestA, e)
+			})
+			consider(bestA, eb)
+		}
+	}
+
+	b.resolve(na, bestA)
+	b.resolve(nb, bestB)
+}
+
+// handle is a snaking site: a tree edge whose subtree is pure in the target
+// group, together with the resistance of the path from the routing subtree's
+// root down to the edge (needed to solve the elongation exactly).
+type handle struct {
+	ref ctree.EdgeRef
+	rUp float64
+}
+
+// coverHandles returns the incoming edges of the maximal pure-g subtrees of
+// n: elongating all of them by the same delay shifts the whole group
+// coherently (the generalized wire-sneaking handle of thesis Fig. 5).
+// Returns nil when n itself is pure (no interior edge covers the group).
+func coverHandles(m rctree.Model, n *ctree.Node, g int) []handle {
+	if _, pure := n.PureGroup(); pure || n.IsLeaf() {
+		return nil
+	}
+	var out []handle
+	var walk func(parent *ctree.Node, rUp float64)
+	walk = func(parent *ctree.Node, rUp float64) {
+		for _, side := range []ctree.Side{ctree.SideL, ctree.SideR} {
+			ref := ctree.EdgeRef{Parent: parent, Side: side}
+			child := ref.Child()
+			if !child.HasGroup(g) {
+				continue
+			}
+			if pg, pure := child.PureGroup(); pure && pg == g {
+				out = append(out, handle{ref: ref, rUp: rUp})
+				continue
+			}
+			if !child.IsLeaf() {
+				walk(child, rUp+m.WireRes(ref.Len()))
+			}
+		}
+	}
+	walk(n, 0)
+	return out
+}
+
+// intersectWindows intersects the feasible X windows of all shared raw
+// groups. On conflict it elongates the cover-handle edges of the offending
+// group (wire sneaking) inside whichever subtree can shift it more cheaply,
+// recomputing that subtree exactly and iterating until the intersection is
+// feasible, the wire cost cap is hit, or iterations run out. compromised
+// reports that the returned (degenerate) window is a least-violation
+// compromise rather than a satisfiable constraint.
+func (b *builder) intersectWindows(na, nb *ctree.Node, shared []int) (xLo, xHi float64, compromised bool) {
+	m := b.opt.Model
+	budget := b.opt.SneakCostCap * (geom.DistRR(na.Region, nb.Region) + 1)
+	for iter := 0; ; iter++ {
+		xLo, xHi := math.Inf(-1), math.Inf(1)
+		var gLo, gHi constraint
+		b.forConstraints(na.Delay, nb.Delay, shared, func(c constraint, ia, ib rctree.Interval, bd float64) {
+			if lo := ib.Hi - ia.Lo - bd; lo > xLo {
+				xLo, gLo = lo, c
+			}
+			if hi := ib.Lo - ia.Hi + bd; hi < xHi {
+				xHi, gHi = hi, c
+			}
+		})
+		if math.IsInf(xLo, -1) && math.IsInf(xHi, 1) {
+			return xLo, xHi, false // no constraints at all
+		}
+		gap := xLo - xHi
+		eps := 1e-9 * (1 + math.Abs(xLo) + math.Abs(xHi))
+		if gap <= eps || iter >= b.opt.MaxSneakIter || gLo == gHi {
+			if gap > 0 {
+				if gap > eps {
+					b.stats.SneakUnresolved++
+				}
+				// Least-violation compromise: any X between the crossed
+				// bounds violates at most gap; keep the middle half of that
+				// range (max violation 3·gap/4 instead of gap/2 at the
+				// midpoint) so the merge retains region freedom instead of
+				// collapsing to a point and starving later merges.
+				return xHi + gap/4, xLo - gap/4, gap > eps
+			}
+			return xLo, xHi, false
+		}
+		// Close the gap: either slow constraint gHi on nb's side (raises its
+		// window ceiling) or slow gLo on na's side (lowers its floor).
+		// Pick the cheaper available cover.
+		planB := b.sneakPlan(nb, gHi, gap)
+		planA := b.sneakPlan(na, gLo, gap)
+		plan, sub := planB, nb
+		if planB == nil || (planA != nil && planA.wire < planB.wire) {
+			plan, sub = planA, na
+		}
+		if plan == nil || plan.wire > budget {
+			b.stats.SneakUnresolved++
+			c := (xLo + xHi) / 2
+			return c, c, true
+		}
+		// Apply tentatively and verify progress: the added snake capacitance
+		// perturbs every delay in the subtree through shared ancestor
+		// resistance, and when that crosstalk rivals the intended shift the
+		// sneak cannot converge — revert and fall back to the compromise.
+		for i, h := range plan.handles {
+			h.ref.AddLen(plan.gammas[i])
+		}
+		sub.Recompute(m)
+		if newGap := b.currentGap(na, nb, shared); newGap > 0.7*gap {
+			for i, h := range plan.handles {
+				h.ref.AddLen(-plan.gammas[i])
+			}
+			sub.Recompute(m)
+			b.stats.SneakUnresolved++
+			c := (xLo + xHi) / 2
+			return c, c, true
+		}
+		budget -= plan.wire
+		b.stats.SneakEvents++
+		b.stats.SneakWire += plan.wire
+	}
+}
+
+// currentGap recomputes the window infeasibility of the pair in place.
+func (b *builder) currentGap(na, nb *ctree.Node, shared []int) float64 {
+	xLo, xHi := math.Inf(-1), math.Inf(1)
+	b.forConstraints(na.Delay, nb.Delay, shared, func(_ constraint, ia, ib rctree.Interval, bd float64) {
+		if lo := ib.Hi - ia.Lo - bd; lo > xLo {
+			xLo = lo
+		}
+		if hi := ib.Lo - ia.Hi + bd; hi < xHi {
+			xHi = hi
+		}
+	})
+	if math.IsInf(xLo, -1) {
+		return 0
+	}
+	return math.Max(xLo-xHi, 0)
+}
+
+// sneak is a set of edge elongations that coherently delays one constraint's
+// sinks inside a subtree.
+type sneak struct {
+	handles []handle
+	gammas  []float64
+	wire    float64
+}
+
+// sneakPlan computes the edge elongations that add `delay` ps to every sink
+// governed by constraint c in subtree n, or nil when no cover exists. For a
+// raw-group constraint the cover is the group's maximal pure subtrees; for a
+// union-root leash it is the union of the covers of all member groups
+// present in n.
+func (b *builder) sneakPlan(n *ctree.Node, c constraint, delay float64) *sneak {
+	m := b.opt.Model
+	var hs []handle
+	if c.raw {
+		hs = coverHandles(m, n, c.id)
+	} else {
+		for _, g := range n.Groups {
+			if r, _ := b.uf.find(g); r == c.id {
+				hs = append(hs, coverHandles(m, n, g)...)
+			}
+		}
+	}
+	if len(hs) == 0 {
+		return nil
+	}
+	p := &sneak{handles: hs, gammas: make([]float64, len(hs))}
+	for i, h := range hs {
+		gam := m.ElongationFor(delay, h.ref.Len(), h.ref.Child().Cap, h.rUp)
+		p.gammas[i] = gam
+		p.wire += gam
+	}
+	return p
+}
+
+// splitWindow maps the X-shift window [xLo, xHi] (possibly infinite) into
+// split space for a merge across distance d. Without snaking it returns the
+// feasible split window (eLo, eHi, false) ⊆ [0, d] — width zero for exact
+// merges, positive width when slack remains (the node then stays deferred
+// over a sub-SDR). When the window lies outside the achievable span it
+// returns the minimal committed snaked lengths (ea, eb, true).
+func (b *builder) splitWindow(na, nb *ctree.Node, d, xLo, xHi float64, compromised bool) (float64, float64, bool) {
+	m := b.opt.Model
+	if compromised && d > 0 {
+		// The window is a least-violation compromise of conflicting
+		// constraints. Honoring it through moderate snaking keeps the
+		// violation small, but spending extreme wire on an already
+		// unattainable target is pointless: beyond the sneak cost cap,
+		// clamp into the achievable span and accept the larger violation.
+		x0 := -m.WireDelay(d, nb.Cap)
+		xd := m.WireDelay(d, na.Cap)
+		budget := b.opt.SneakCostCap * (d + 1)
+		switch {
+		case xLo > xd && m.ExtendForDelay(na.Cap, math.Min(xLo, xHi))-d > budget,
+			xHi < x0 && m.ExtendForDelay(nb.Cap, -math.Max(xHi, xLo))-d > budget:
+			x := math.Min(math.Max(math.Min(xLo, xHi), x0), xd)
+			xLo, xHi = x, x
+		default:
+			// Normalize the possibly inverted compromise range.
+			if xLo > xHi {
+				xLo, xHi = xHi, xLo
+			}
+		}
+	}
+	if b.opt.EndpointSplit && math.IsInf(xLo, -1) && math.IsInf(xHi, 1) {
+		// Ablation: unconstrained merges commit the e=0 endpoint instead of
+		// keeping the whole shortest-distance region.
+		return 0, 0, false
+	}
+
+	if d <= 0 {
+		switch {
+		case xLo > 0:
+			return math.Max(m.ExtendForDelay(na.Cap, xLo), d), 0, true
+		case xHi < 0:
+			return 0, math.Max(m.ExtendForDelay(nb.Cap, -xHi), d), true
+		default:
+			return 0, 0, false
+		}
+	}
+
+	x0 := -m.WireDelay(d, nb.Cap) // X at e=0
+	xd := m.WireDelay(d, na.Cap)  // X at e=d
+	switch {
+	case xHi < x0:
+		// Must shift below what the span allows: all wire on B plus snake.
+		return 0, math.Max(m.ExtendForDelay(nb.Cap, -xHi), d), true
+	case xLo > xd:
+		return math.Max(m.ExtendForDelay(na.Cap, xLo), d), 0, true
+	default:
+		eLo, eHi := 0.0, d
+		if xLo > x0 {
+			eLo = m.SplitForDiff(d, na.Cap, nb.Cap, xLo)
+		}
+		if xHi < xd {
+			eHi = m.SplitForDiff(d, na.Cap, nb.Cap, xHi)
+		}
+		eLo = math.Min(math.Max(eLo, 0), d)
+		eHi = math.Min(math.Max(eHi, eLo), d)
+		return eLo, eHi, false
+	}
+}
+
+// String summarizes the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("merges=%d (same=%d cross=%d shared=%d deferred=%d unions=%d) snakes=%d sneaks=%d (+%.0f wire, %d unresolved)",
+		s.Merges, s.SameGroup, s.CrossGroup, s.Shared, s.Deferred, s.GroupUnions,
+		s.MergeSnakes, s.SneakEvents, s.SneakWire, s.SneakUnresolved)
+}

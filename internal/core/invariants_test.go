@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/ctree"
+	"repro/internal/eval"
+	"repro/internal/geom"
+	"repro/internal/rctree"
+)
+
+// TestDeterminism: identical inputs must give bit-identical routings — the
+// algorithm contains no randomness, and map iteration order must not leak
+// into results (a class of bug Go makes easy to introduce).
+func TestDeterminism(t *testing.T) {
+	in := bench.Intermingled(bench.Small(120, 5), 6, 9)
+	var wires []float64
+	for trial := 0; trial < 3; trial++ {
+		res, err := Build(in, Options{IntraSkewBound: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wires = append(wires, res.Wirelength)
+	}
+	if wires[0] != wires[1] || wires[1] != wires[2] {
+		t.Errorf("non-deterministic wirelengths: %v", wires)
+	}
+}
+
+// TestStatsCoherence: the run statistics must account for every merge.
+func TestStatsCoherence(t *testing.T) {
+	in := bench.Intermingled(bench.Small(100, 8), 4, 3)
+	res, err := Build(in, Options{IntraSkewBound: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Merges != len(in.Sinks)-1 {
+		t.Errorf("merges = %d, want %d", s.Merges, len(in.Sinks)-1)
+	}
+	if s.SameGroup+s.CrossGroup+s.Shared != s.Merges {
+		t.Errorf("classification %d+%d+%d != %d", s.SameGroup, s.CrossGroup, s.Shared, s.Merges)
+	}
+	if s.Deferred > s.Merges || s.MergeSnakes > s.Merges {
+		t.Errorf("implausible stats %+v", s)
+	}
+	if s.SneakWire < 0 || (s.SneakEvents == 0 && s.SneakWire != 0) {
+		t.Errorf("sneak accounting %+v", s)
+	}
+}
+
+// TestNodeInvariants walks the final tree checking the structural contracts
+// the builder relies on: committed caps match a recomputation, regions are
+// non-empty, every internal node is resolved, and per-group delay maps agree
+// with the independent evaluator.
+func TestNodeInvariants(t *testing.T) {
+	m := DefaultModel()
+	in := bench.Intermingled(bench.Small(90, 2), 5, 11)
+	res, err := Build(in, Options{IntraSkewBound: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Root.Visit(func(n *ctree.Node) {
+		if n.Deferred {
+			t.Fatalf("node %d still deferred in final tree", n.ID)
+		}
+		if n.Region.IsEmpty() {
+			t.Fatalf("node %d empty region", n.ID)
+		}
+		if len(n.Groups) == 0 || n.Delay == nil {
+			t.Fatalf("node %d missing group state", n.ID)
+		}
+		for _, g := range n.Groups {
+			if _, ok := n.Delay[g]; !ok {
+				t.Fatalf("node %d group %d missing delay", n.ID, g)
+			}
+		}
+	})
+	// Cap bookkeeping vs full recomputation.
+	wantCap := res.Root.Cap
+	res.Root.Recompute(m)
+	if math.Abs(res.Root.Cap-wantCap) > 1e-6*(1+wantCap) {
+		t.Errorf("cap drift: %v vs recomputed %v", wantCap, res.Root.Cap)
+	}
+	// Delay maps vs evaluator.
+	rep := eval.Analyze(res.Root, in, m, in.Source)
+	for g, iv := range res.Root.Delay {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range in.Sinks {
+			if s.Group == g {
+				lo = math.Min(lo, rep.SinkDelay[s.ID])
+				hi = math.Max(hi, rep.SinkDelay[s.ID])
+			}
+		}
+		if math.Abs(lo-iv.Lo) > 1e-6*(1+hi) || math.Abs(hi-iv.Hi) > 1e-6*(1+hi) {
+			t.Errorf("group %d: bookkept %v vs measured [%v,%v]", g, iv, lo, hi)
+		}
+	}
+}
+
+// TestCrossGroupMergesNeverSnake: merges without shared groups or registry
+// relations cost exactly the region distance (thesis Fig. 3).
+func TestCrossGroupMergesNeverSnake(t *testing.T) {
+	// All-distinct groups: every merge is a free SDR merge.
+	in := bench.Small(50, 6)
+	in.NumGroups = len(in.Sinks)
+	for i := range in.Sinks {
+		in.Sinks[i].Group = i
+	}
+	res, err := Build(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MergeSnakes != 0 || res.Stats.SneakEvents != 0 {
+		t.Errorf("free merges snaked: %v", res.Stats)
+	}
+	if res.Stats.CrossGroup != res.Stats.Merges {
+		t.Errorf("expected all cross merges: %v", res.Stats)
+	}
+}
+
+// TestWirelengthLowerBound: no routing may beat half the cost of connecting
+// each sink to the source directly divided by fan... use the weaker bound
+// that total wire must at least reach the bounding box semi-perimeter.
+func TestWirelengthLowerBound(t *testing.T) {
+	in := bench.Small(80, 10)
+	res, err := ZST(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmin, ymin := math.Inf(1), math.Inf(1)
+	xmax, ymax := math.Inf(-1), math.Inf(-1)
+	for _, s := range in.Sinks {
+		xmin = math.Min(xmin, s.Loc.X)
+		xmax = math.Max(xmax, s.Loc.X)
+		ymin = math.Min(ymin, s.Loc.Y)
+		ymax = math.Max(ymax, s.Loc.Y)
+	}
+	if res.Wirelength < (xmax-xmin)+(ymax-ymin) {
+		t.Errorf("wire %v below bounding-box semi-perimeter %v",
+			res.Wirelength, (xmax-xmin)+(ymax-ymin))
+	}
+}
+
+// TestModelsAgreeOnStructure: the engine must work identically well under
+// the pathlength model (the prior work's metric). Bounds are expressed in
+// the model's delay unit — ps for Elmore, length units for pathlength — so
+// the intra-group bound must scale accordingly.
+func TestModelsAgreeOnStructure(t *testing.T) {
+	in := bench.Intermingled(bench.Small(60, 4), 3, 2)
+	cases := []struct {
+		m     rctree.Model
+		bound float64
+	}{
+		{rctree.Linear{}, 500}, // length units ≈ a sixth of the sink spacing scale
+		{DefaultModel(), 10},   // ps
+	}
+	for _, c := range cases {
+		res, err := Build(in, Options{Model: c.m, IntraSkewBound: c.bound})
+		if err != nil {
+			t.Fatalf("%s: %v", c.m.Name(), err)
+		}
+		if err := eval.CheckTree(res.Root, in); err != nil {
+			t.Fatalf("%s: %v", c.m.Name(), err)
+		}
+		rep := eval.Analyze(res.Root, in, c.m, in.Source)
+		if rep.MaxGroupSkew > 3*c.bound {
+			t.Errorf("%s: group skew %v for bound %v", c.m.Name(), rep.MaxGroupSkew, c.bound)
+		}
+	}
+}
+
+// TestSourcePlacementIndependence: the thesis notes the bottom-up procedure
+// is independent of the source location; only the source connection and the
+// root split react to it.
+func TestSourcePlacementIndependence(t *testing.T) {
+	in1 := bench.Small(70, 13)
+	in2 := *in1
+	in2.Sinks = append([]ctree.Sink(nil), in1.Sinks...)
+	in2.Source = geom.Point{X: 0, Y: 0}
+
+	r1, err := ZST(in1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ZST(&in2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree1 := r1.Root.Wirelength()
+	tree2 := r2.Root.Wirelength()
+	if math.Abs(tree1-tree2) > 1e-9*(1+tree1) {
+		t.Errorf("tree wirelength depends on source: %v vs %v", tree1, tree2)
+	}
+	if r1.SourceWire == r2.SourceWire {
+		t.Log("note: source wires happen to coincide")
+	}
+}
+
+// TestLargeInstanceSmoke routes an r3-sized intermingled instance end to end
+// under -short-friendly time and validates the result.
+func TestLargeInstanceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sp, err := bench.BySuiteName("r3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := bench.Intermingled(bench.Generate(sp), 8, 3)
+	res, err := Build(in, Options{IntraSkewBound: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eval.CheckTree(res.Root, in); err != nil {
+		t.Fatal(err)
+	}
+	rep := eval.Analyze(res.Root, in, DefaultModel(), in.Source)
+	if rep.Sinks != 862 {
+		t.Fatalf("sinks %d", rep.Sinks)
+	}
+	if rep.MaxGroupSkew > 40 {
+		t.Errorf("group skew %v", rep.MaxGroupSkew)
+	}
+}

@@ -1,0 +1,131 @@
+package ctree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rctree"
+)
+
+// deferredPair builds a deferred node over two leaves with a full split
+// window for testing the deferral API.
+func deferredPair(m rctree.Model) (*Node, *Node, *Node) {
+	s0 := &Sink{ID: 0, Loc: geom.Point{X: 0, Y: 0}, CapFF: 10, Group: 0}
+	s1 := &Sink{ID: 1, Loc: geom.Point{X: 100, Y: 0}, CapFF: 30, Group: 1}
+	l0, l1 := NewLeaf(s0), NewLeaf(s1)
+	d := geom.DistRR(l0.Region, l1.Region)
+	n := &Node{
+		ID: 2, Left: l0, Right: l1,
+		Groups:   []int{0, 1},
+		Cap:      l0.Cap + l1.Cap + m.WireCap(d),
+		Deferred: true,
+		DefD:     d, DefELo: 0, DefEHi: d,
+		DefRegion: geom.SDR(l0.Region, l1.Region, d, 0, d),
+	}
+	return n, l0, l1
+}
+
+func TestDeferredAccessors(t *testing.T) {
+	m := rctree.NewElmore(0.1, 0.02)
+	n, l0, l1 := deferredPair(m)
+
+	lo, hi := n.SplitRange()
+	if lo != 0 || hi != 100 {
+		t.Fatalf("split range [%v,%v]", lo, hi)
+	}
+	if reg := n.ActiveRegion(); reg.IsEmpty() {
+		t.Fatal("empty active region")
+	}
+	// RectAt at each extreme touches the corresponding leaf.
+	r0 := n.RectAt(0)
+	if geom.DistRR(r0, l0.Region) > 1e-9 {
+		t.Errorf("RectAt(0) not at left leaf")
+	}
+	rd := n.RectAt(100)
+	if geom.DistRR(rd, l1.Region) > 1e-9 {
+		t.Errorf("RectAt(d) not at right leaf")
+	}
+
+	// DelayAt is consistent with a Resolve at the same split.
+	for _, e := range []float64{0, 25, 50, 100} {
+		want := n.DelayAt(m, e)
+		clone, _, _ := deferredPair(m)
+		clone.Resolve(m, e)
+		for g, iv := range clone.Delay {
+			if w := want[g]; math.Abs(w.Lo-iv.Lo) > 1e-9 || math.Abs(w.Hi-iv.Hi) > 1e-9 {
+				t.Fatalf("e=%v group %d: DelayAt %v vs resolved %v", e, g, w, iv)
+			}
+		}
+	}
+}
+
+func TestResolveCommitsConsistentState(t *testing.T) {
+	m := rctree.NewElmore(0.1, 0.02)
+	n, _, _ := deferredPair(m)
+	n.Resolve(m, 40)
+	if n.Deferred {
+		t.Fatal("still deferred")
+	}
+	if n.EdgeL != 40 || n.EdgeR != 60 {
+		t.Fatalf("edges %v/%v", n.EdgeL, n.EdgeR)
+	}
+	if n.Region.IsEmpty() {
+		t.Fatal("empty region after resolve")
+	}
+	// Cap was committed at deferral and must match a recompute.
+	want := n.Cap
+	n.Recompute(m)
+	if math.Abs(n.Cap-want) > 1e-9 {
+		t.Errorf("cap %v vs recomputed %v", want, n.Cap)
+	}
+	// Resolving again is a no-op.
+	n.EdgeL = 41
+	n.Resolve(m, 10)
+	if n.EdgeL != 41 {
+		t.Error("second resolve mutated node")
+	}
+}
+
+func TestResolveClampsSplit(t *testing.T) {
+	m := rctree.NewElmore(0.1, 0.02)
+	n, _, _ := deferredPair(m)
+	n.DefELo, n.DefEHi = 20, 70
+	n.Resolve(m, 500)
+	if n.EdgeL != 70 {
+		t.Errorf("split not clamped: %v", n.EdgeL)
+	}
+	n2, _, _ := deferredPair(m)
+	n2.DefELo, n2.DefEHi = 20, 70
+	n2.Resolve(m, -3)
+	if n2.EdgeL != 20 {
+		t.Errorf("split not clamped low: %v", n2.EdgeL)
+	}
+}
+
+func TestResolveTowardPicksNearestBoundary(t *testing.T) {
+	m := rctree.NewElmore(0.1, 0.02)
+	n, l0, l1 := deferredPair(m)
+	// Target sitting on the left leaf: resolution should commit e ≈ 0.
+	target := geom.OctFromRect(l0.Region)
+	rect := n.ResolveToward(m, target)
+	if geom.DistRR(rect, l0.Region) > 1e-6 {
+		t.Errorf("resolved rect %v not at left leaf", rect)
+	}
+	if n.EdgeL > 1e-6 {
+		t.Errorf("split %v, want ≈0", n.EdgeL)
+	}
+	_ = l1
+}
+
+func TestDelayAtResolvedNodeReturnsCurrentMap(t *testing.T) {
+	m := rctree.NewElmore(0.1, 0.02)
+	n, _, _ := deferredPair(m)
+	n.Resolve(m, 50)
+	got := n.DelayAt(m, 999) // argument ignored for resolved nodes
+	for g, iv := range n.Delay {
+		if got[g] != iv {
+			t.Fatalf("group %d: %v vs %v", g, got[g], iv)
+		}
+	}
+}

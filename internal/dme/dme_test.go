@@ -1,0 +1,129 @@
+package dme
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/rctree"
+)
+
+var model = rctree.NewElmore(0.1, 0.02)
+
+func TestExactZeroSkew(t *testing.T) {
+	for _, n := range []int{2, 5, 30, 150} {
+		for _, seed := range []int64{1, 2, 3} {
+			in := bench.Small(n, seed)
+			res, err := Build(in, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delays := res.SinkDelays(model, n)
+			if len(delays) != n {
+				t.Fatalf("n=%d: %d delays", n, len(delays))
+			}
+			if skew := res.Skew(model, n); skew > 1e-6*(1+delays[0]) {
+				t.Errorf("n=%d seed=%d: skew = %v ps", n, seed, skew)
+			}
+		}
+	}
+}
+
+func TestLinearModelZeroSkew(t *testing.T) {
+	in := bench.Small(50, 4)
+	res, err := Build(in, rctree.Linear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew := res.Skew(rctree.Linear{}, 50); skew > 1e-9 {
+		t.Errorf("linear skew = %v", skew)
+	}
+}
+
+func TestDelayBookkeepingMatchesEvaluation(t *testing.T) {
+	in := bench.Small(80, 7)
+	res, err := Build(in, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := res.SinkDelays(model, 80)
+	for _, d := range delays {
+		if math.Abs(d-res.Root.Delay) > 1e-6*(1+d) {
+			t.Fatalf("evaluated delay %v != bookkept %v", d, res.Root.Delay)
+		}
+	}
+}
+
+func TestEmbeddingRespectsEdgeLengths(t *testing.T) {
+	in := bench.Small(60, 9)
+	res, err := Build(in, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Sink != nil {
+			if d := geom.DistUV(n.Loc, geom.ToUV(n.Sink.Loc)); d > 1e-9 {
+				t.Fatalf("sink %d off pin by %v", n.Sink.ID, d)
+			}
+			return
+		}
+		if d := geom.DistUV(n.Loc, n.Left.Loc); d > n.EdgeL+1e-6 {
+			t.Fatalf("left edge %v < embedded %v", n.EdgeL, d)
+		}
+		if d := geom.DistUV(n.Loc, n.Right.Loc); d > n.EdgeR+1e-6 {
+			t.Fatalf("right edge %v < embedded %v", n.EdgeR, d)
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(res.Root)
+}
+
+// TestDifferentialAgainstCore cross-checks the general engine's degenerate
+// zero-skew mode against this independent implementation: both must achieve
+// zero skew, and their wirelengths must agree within the tolerance expected
+// from their different merge orders.
+func TestDifferentialAgainstCore(t *testing.T) {
+	for _, seed := range []int64{1, 5, 11, 23} {
+		in := bench.Small(120, seed)
+		classic, err := Build(in, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine, err := core.ZST(in, core.Options{Model: model})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if skew := classic.Skew(model, len(in.Sinks)); skew > 1e-6*classic.Root.Delay {
+			t.Errorf("seed %d: classic skew %v", seed, skew)
+		}
+		ratio := engine.Wirelength / classic.Wirelength
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("seed %d: engine wire %v vs classic %v (ratio %.3f) — implementations diverged",
+				seed, engine.Wirelength, classic.Wirelength, ratio)
+		}
+	}
+}
+
+func TestSingleSink(t *testing.T) {
+	in := bench.Small(1, 1)
+	res, err := Build(in, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.Dist(in.Sinks[0].Loc, in.Source)
+	if math.Abs(res.Wirelength-want) > 1e-9 {
+		t.Errorf("wire = %v, want %v", res.Wirelength, want)
+	}
+}
+
+func TestInvalidRejected(t *testing.T) {
+	in := bench.Small(5, 1)
+	in.NumGroups = 0
+	if _, err := Build(in, model); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}

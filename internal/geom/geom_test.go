@@ -1,0 +1,246 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRoundTripUV(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 2}, {-3.5, 7.25}, {1e6, -2e6}}
+	for _, p := range pts {
+		q := ToXY(ToUV(p))
+		if !almostEq(p.X, q.X, 1e-12) || !almostEq(p.Y, q.Y, 1e-12) {
+			t.Errorf("round trip %v -> %v", p, q)
+		}
+	}
+}
+
+func TestDistDuality(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		return almostEq(Dist(a, b), DistUV(ToUV(a), ToUV(b)), 1e-9*(1+Dist(a, b)))
+	}
+	cfg := &quick.Config{MaxCount: 500, Values: smallFloats(4)}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// smallFloats generates n float64 arguments bounded to a sane range so that
+// tolerance-based comparisons stay meaningful.
+func smallFloats(n int) func([]reflect.Value, *rand.Rand) {
+	return func(args []reflect.Value, r *rand.Rand) {
+		for i := 0; i < n; i++ {
+			args[i] = reflect.ValueOf((r.Float64() - 0.5) * 2e6)
+		}
+	}
+}
+
+func TestDistManhattan(t *testing.T) {
+	if got := Dist(Point{0, 0}, Point{3, 4}); got != 7 {
+		t.Errorf("Dist = %v, want 7", got)
+	}
+	if got := Dist(Point{-1, -1}, Point{-4, 3}); got != 7 {
+		t.Errorf("Dist = %v, want 7", got)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	p := Point{2, 3}
+	r := RectFromPoint(p)
+	if !r.IsPoint() {
+		t.Fatalf("RectFromPoint not a point: %v", r)
+	}
+	if r.IsEmpty() || r.IsSegment() {
+		t.Fatalf("point rect misclassified: %v", r)
+	}
+	back := ToXY(r.Center())
+	if !almostEq(back.X, p.X, 1e-12) || !almostEq(back.Y, p.Y, 1e-12) {
+		t.Errorf("center round trip: %v", back)
+	}
+
+	seg := Rect{ULo: 0, UHi: 4, VLo: 1, VHi: 1}
+	if !seg.IsSegment() {
+		t.Errorf("expected segment: %v", seg)
+	}
+	empty := Rect{ULo: 1, UHi: 0, VLo: 0, VHi: 1}
+	if !empty.IsEmpty() {
+		t.Errorf("expected empty: %v", empty)
+	}
+}
+
+func TestInflateIntersect(t *testing.T) {
+	a := RectFromPoint(Point{0, 0})
+	b := RectFromPoint(Point{10, 0})
+	d := DistRR(a, b)
+	if d != 10 {
+		t.Fatalf("DistRR = %v, want 10", d)
+	}
+	// Split the distance: locus must be non-empty and at the right distances.
+	for _, ea := range []float64{0, 2.5, 5, 10} {
+		eb := d - ea
+		m := MergeLocus(a, b, ea, eb)
+		if m.IsEmpty() {
+			t.Fatalf("empty locus at ea=%v", ea)
+		}
+		if !almostEq(DistRR(m, a), ea, 1e-9) || !almostEq(DistRR(m, b), eb, 1e-9) {
+			t.Errorf("locus distances: to a %v (want %v), to b %v (want %v)",
+				DistRR(m, a), ea, DistRR(m, b), eb)
+		}
+	}
+}
+
+func TestMergeLocusProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		a := randomRect(r)
+		b := randomRect(r)
+		d := DistRR(a, b)
+		frac := r.Float64()
+		ea := frac * d
+		m := MergeLocus(a, b, ea, d-ea)
+		if m.IsEmpty() {
+			t.Fatalf("iter %d: empty merge locus d=%v ea=%v a=%v b=%v", i, d, ea, a, b)
+		}
+		// Every point of the locus is within ea of a and d-ea of b.
+		tol := 1e-6 * (1 + d)
+		if DistRR(m, a) > ea+tol || DistRR(m, b) > d-ea+tol {
+			t.Fatalf("iter %d: locus too far: %v %v", i, DistRR(m, a), DistRR(m, b))
+		}
+		// With ea+eb == d exactly, distances are achieved exactly.
+		if d > 0 && (DistRR(m, a) < ea-tol || DistRR(m, b) < (d-ea)-tol) {
+			t.Fatalf("iter %d: locus too close: got %v want %v / got %v want %v",
+				i, DistRR(m, a), ea, DistRR(m, b), d-ea)
+		}
+	}
+}
+
+func TestMergeLocusSnaking(t *testing.T) {
+	a := RectFromPoint(Point{0, 0})
+	b := RectFromPoint(Point{4, 0})
+	m := MergeLocus(a, b, 6, 6) // ea+eb exceeds distance: fat locus
+	if m.IsEmpty() {
+		t.Fatal("snaked locus empty")
+	}
+	if DistRR(m, a) != 0 || DistRR(m, b) != 0 {
+		// With radii larger than the gap both originals are inside the locus.
+		t.Errorf("expected both endpoints covered, got %v %v", DistRR(m, a), DistRR(m, b))
+	}
+}
+
+func randomRect(r *rand.Rand) Rect {
+	u := (r.Float64() - 0.5) * 1e4
+	v := (r.Float64() - 0.5) * 1e4
+	w := r.Float64() * 100
+	h := r.Float64() * 100
+	switch r.Intn(4) {
+	case 0: // point
+		return Rect{ULo: u, UHi: u, VLo: v, VHi: v}
+	case 1: // horizontal segment
+		return Rect{ULo: u, UHi: u + w, VLo: v, VHi: v}
+	case 2: // vertical segment
+		return Rect{ULo: u, UHi: u, VLo: v, VHi: v + h}
+	default:
+		return Rect{ULo: u, UHi: u + w, VLo: v, VHi: v + h}
+	}
+}
+
+func TestClosestPoint(t *testing.T) {
+	r := Rect{ULo: 0, UHi: 10, VLo: 0, VHi: 10}
+	cases := []struct {
+		q, want UV
+	}{
+		{UV{5, 5}, UV{5, 5}},
+		{UV{-3, 5}, UV{0, 5}},
+		{UV{12, 15}, UV{10, 10}},
+		{UV{5, -1}, UV{5, 0}},
+	}
+	for _, c := range cases {
+		got := r.ClosestPointTo(c.q)
+		if got != c.want {
+			t.Errorf("ClosestPointTo(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestClosestPointIsOptimal(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		rect := randomRect(r)
+		q := UV{U: (r.Float64() - 0.5) * 2e4, V: (r.Float64() - 0.5) * 2e4}
+		cp := rect.ClosestPointTo(q)
+		if !rect.Contains(cp) {
+			t.Fatalf("closest point %v not in rect %v", cp, rect)
+		}
+		want := DistRP(rect, q)
+		if !almostEq(DistUV(cp, q), want, 1e-9*(1+want)) {
+			t.Fatalf("closest point distance %v != rect distance %v", DistUV(cp, q), want)
+		}
+		// No random sample inside the rect does better.
+		for j := 0; j < 20; j++ {
+			s := UV{
+				U: rect.ULo + r.Float64()*rect.Width(),
+				V: rect.VLo + r.Float64()*rect.Height(),
+			}
+			if DistUV(s, q) < DistUV(cp, q)-1e-9 {
+				t.Fatalf("sample %v beats closest point %v", s, cp)
+			}
+		}
+	}
+}
+
+func TestDistRRSymmetryAndTriangle(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 1000; i++ {
+		a, b, c := randomRect(r), randomRect(r), randomRect(r)
+		if !almostEq(DistRR(a, b), DistRR(b, a), 1e-12) {
+			t.Fatal("DistRR not symmetric")
+		}
+		// Point-to-point special case agrees with DistUV.
+		p, q := a.Center(), b.Center()
+		if !almostEq(DistRR(RectFromUV(p), RectFromUV(q)), DistUV(p, q), 1e-12) {
+			t.Fatal("point DistRR mismatch")
+		}
+		_ = c
+	}
+}
+
+func TestUnionContains(t *testing.T) {
+	a := Rect{ULo: 0, UHi: 1, VLo: 0, VHi: 1}
+	b := Rect{ULo: 5, UHi: 6, VLo: -2, VHi: 0}
+	u := Union(a, b)
+	if !u.ContainsRect(a) || !u.ContainsRect(b) {
+		t.Errorf("union %v does not contain inputs", u)
+	}
+	if u != (Rect{ULo: 0, UHi: 6, VLo: -2, VHi: 1}) {
+		t.Errorf("union = %v", u)
+	}
+}
+
+func TestCornersAreValidPreimages(t *testing.T) {
+	rect := Rect{ULo: 0, UHi: 4, VLo: -2, VHi: 2}
+	for _, p := range rect.Corners() {
+		q := ToUV(p)
+		if !rect.Contains(q) {
+			t.Errorf("corner %v maps to %v outside rect", p, q)
+		}
+	}
+	xmin, ymin, xmax, ymax := rect.BoundingBox()
+	if xmin > xmax || ymin > ymax {
+		t.Errorf("bad bbox %v %v %v %v", xmin, ymin, xmax, ymax)
+	}
+}
+
+func TestDegenerateMerge(t *testing.T) {
+	// Merging a rect with itself at zero distance returns the rect.
+	a := Rect{ULo: 1, UHi: 3, VLo: 1, VHi: 1}
+	m := MergeLocus(a, a, 0, 0)
+	if m != a {
+		t.Errorf("self merge = %v, want %v", m, a)
+	}
+}

@@ -1,0 +1,123 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestIntersectOctAgainstMembership: a point is in the intersection iff it
+// is in both operands.
+func TestIntersectOctAgainstMembership(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 800; i++ {
+		a, b := randomOct(r), randomOct(r)
+		c, ok := IntersectOct(a, b)
+		pts := append(samplePoints(a, r, 12), samplePoints(b, r, 12)...)
+		if ok {
+			pts = append(pts, samplePoints(c, r, 12)...)
+		}
+		for _, q := range pts {
+			inA, inB := a.ContainsUV(q, 1e-9), b.ContainsUV(q, 1e-9)
+			inC := ok && c.ContainsUV(q, 1e-6)
+			if inA && inB && !inC {
+				t.Fatalf("point %v in both operands but not intersection\na=%v\nb=%v\nc=%v", q, a, b, c)
+			}
+			if inC && (!a.ContainsUV(q, 1e-6) || !b.ContainsUV(q, 1e-6)) {
+				t.Fatalf("intersection point %v outside an operand", q)
+			}
+		}
+	}
+}
+
+// TestInflateContains: inflating by r covers every point within distance r.
+func TestInflateContains(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for i := 0; i < 600; i++ {
+		o := randomOct(r)
+		d := r.Float64() * 100
+		infl := o.Inflate(d)
+		for _, q := range samplePoints(o, r, 8) {
+			// Perturb q by up to d in L∞.
+			p := UV{
+				U: q.U + (r.Float64()*2-1)*d,
+				V: q.V + (r.Float64()*2-1)*d,
+			}
+			if !infl.ContainsUV(p, 1e-6) {
+				t.Fatalf("inflate(%v) misses %v at distance ≤ %v", o, p, d)
+			}
+		}
+	}
+}
+
+// TestDistTriangleOverOctagons: octagon distance obeys a triangle-style
+// relation through sampled points.
+func TestDistTriangleOverOctagons(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for i := 0; i < 500; i++ {
+		a, b := randomOct(r), randomOct(r)
+		d := DistOO(a, b)
+		qa := samplePoints(a, r, 6)
+		qb := samplePoints(b, r, 6)
+		for j := range qa {
+			for k := range qb {
+				if got := DistUV(qa[j], qb[k]); got < d-1e-6*(1+d) {
+					t.Fatalf("sampled pair closer (%v) than DistOO (%v)", got, d)
+				}
+			}
+		}
+	}
+}
+
+// TestUnionIsLeastBoundingRect: Union contains both inputs and no smaller
+// rectangle does.
+func TestUnionIsLeastBoundingRect(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	for i := 0; i < 500; i++ {
+		a, b := randomRect(r), randomRect(r)
+		u := Union(a, b)
+		if !u.ContainsRect(a) || !u.ContainsRect(b) {
+			t.Fatal("union misses an input")
+		}
+		// Each side of u is supported by a or b.
+		if u.ULo != math.Min(a.ULo, b.ULo) || u.UHi != math.Max(a.UHi, b.UHi) ||
+			u.VLo != math.Min(a.VLo, b.VLo) || u.VHi != math.Max(a.VHi, b.VHi) {
+			t.Fatalf("union not tight: %v of %v, %v", u, a, b)
+		}
+	}
+}
+
+// TestSDRShrinksWithWindow: restricting the split window shrinks the SDR.
+func TestSDRShrinksWithWindow(t *testing.T) {
+	r := rand.New(rand.NewSource(35))
+	for i := 0; i < 400; i++ {
+		a, b := randomRect(r), randomRect(r)
+		d := DistRR(a, b)
+		if d == 0 {
+			continue
+		}
+		full := SDR(a, b, d, 0, d)
+		lo := r.Float64() * d / 2
+		hi := lo + r.Float64()*(d-lo)
+		sub := SDR(a, b, d, lo, hi)
+		for _, q := range samplePoints(sub, r, 10) {
+			if !full.ContainsUV(q, 1e-6*(1+d)) {
+				t.Fatalf("restricted SDR point %v escapes the full SDR", q)
+			}
+		}
+	}
+}
+
+// TestBoundingBoxCoversCorners: physical bounding box covers every corner.
+func TestBoundingBoxCoversCorners(t *testing.T) {
+	r := rand.New(rand.NewSource(36))
+	for i := 0; i < 300; i++ {
+		rect := randomRect(r)
+		xmin, ymin, xmax, ymax := rect.BoundingBox()
+		for _, p := range rect.Corners() {
+			if p.X < xmin-1e-9 || p.X > xmax+1e-9 || p.Y < ymin-1e-9 || p.Y > ymax+1e-9 {
+				t.Fatalf("corner %v outside bbox", p)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package instio serializes clock routing instances and routing results as
+// JSON, the interchange format of the cmd/ tools (instancegen → astdme →
+// drawtree).
+package instio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ctree"
+	"repro/internal/geom"
+)
+
+// jsonSink mirrors ctree.Sink with stable field names.
+type jsonSink struct {
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	CapFF float64 `json:"cap_ff"`
+	Group int     `json:"group"`
+}
+
+// jsonInstance is the on-disk instance format.
+type jsonInstance struct {
+	Name      string     `json:"name"`
+	SourceX   float64    `json:"source_x"`
+	SourceY   float64    `json:"source_y"`
+	NumGroups int        `json:"num_groups"`
+	Sinks     []jsonSink `json:"sinks"`
+}
+
+// WriteInstance serializes an instance as indented JSON.
+func WriteInstance(w io.Writer, in *ctree.Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	ji := jsonInstance{
+		Name:      in.Name,
+		SourceX:   in.Source.X,
+		SourceY:   in.Source.Y,
+		NumGroups: in.NumGroups,
+		Sinks:     make([]jsonSink, len(in.Sinks)),
+	}
+	for i, s := range in.Sinks {
+		ji.Sinks[i] = jsonSink{X: s.Loc.X, Y: s.Loc.Y, CapFF: s.CapFF, Group: s.Group}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ji)
+}
+
+// ReadInstance parses and validates an instance.
+func ReadInstance(r io.Reader) (*ctree.Instance, error) {
+	var ji jsonInstance
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ji); err != nil {
+		return nil, fmt.Errorf("instio: %w", err)
+	}
+	in := &ctree.Instance{
+		Name:      ji.Name,
+		Source:    geom.Point{X: ji.SourceX, Y: ji.SourceY},
+		NumGroups: ji.NumGroups,
+		Sinks:     make([]ctree.Sink, len(ji.Sinks)),
+	}
+	for i, s := range ji.Sinks {
+		in.Sinks[i] = ctree.Sink{
+			ID:    i,
+			Loc:   geom.Point{X: s.X, Y: s.Y},
+			CapFF: s.CapFF,
+			Group: s.Group,
+		}
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("instio: %w", err)
+	}
+	return in, nil
+}
+
+// LoadInstance reads an instance file.
+func LoadInstance(path string) (*ctree.Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadInstance(f)
+}
+
+// SaveInstance writes an instance file.
+func SaveInstance(path string, in *ctree.Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteInstance(f, in); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,272 @@
+// Package order implements the bottom-up merging order for DME-family clock
+// routers: the minimum merging-cost scheme of greedy-DME (Edahiro 1993),
+// optionally with the two enhancements named in the thesis (Ch. V.F):
+//
+//  1. simultaneous multiple mergings per round, which cuts the number of
+//     nearest-neighbor recomputations and hence runtime; and
+//  2. a delay-target-aware priority that merges subtrees with large delays
+//     first, reducing delay-target imbalance and thus wire snaking.
+//
+// The queue works on abstract item indices: the router supplies a distance
+// function (typically geom.DistRR over node regions) and, after each merge,
+// registers the replacement item. Distances between two live items never
+// change during a run (regions are committed at creation), which the greedy
+// strategy exploits for a simple lazy-deletion pairing heap.
+package order
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Strategy selects how aggressively merges are batched.
+type Strategy int
+
+const (
+	// Multi (the default) performs simultaneous multiple mergings — the
+	// thesis's enhancement 1, after Edahiro: each round it computes the
+	// nearest-neighbor pairing of all live items and merges the shortest
+	// disjoint fraction of those pairs before re-pairing.
+	Multi Strategy = iota
+	// Greedy merges exactly one globally minimum-cost pair at a time
+	// (classic greedy-DME order).
+	Greedy
+)
+
+// Config parameterizes a Queue.
+type Config struct {
+	// Strategy selects Greedy or Multi (default Greedy).
+	Strategy Strategy
+	// BatchFraction is the fraction of live items merged per Multi round,
+	// in (0, 0.5]; 0 selects the default 0.5.
+	BatchFraction float64
+	// Key optionally overrides the pair priority. It receives the two item
+	// indices and their distance and returns the priority (lower merges
+	// first). Nil means priority = distance. Used for the delay-target
+	// enhancement.
+	Key func(i, j int, dist float64) float64
+}
+
+// Queue produces the sequence of merges. Item indices 0..n-1 are the initial
+// items; Merged registers replacement items with increasing indices.
+type Queue struct {
+	cfg   Config
+	dist  func(i, j int) float64
+	alive []bool
+	live  int
+
+	// Greedy state.
+	h pairHeap
+
+	// Multi state.
+	batch   []pair
+	age     []int // rounds an item has survived unmerged (anti-starvation)
+	pending int   // merges issued since last batch build whose results are not yet registered
+}
+
+// starveRounds is the number of Multi rounds an item may go unmerged before
+// it is force-paired regardless of cost. Without this, items whose pairings
+// all look expensive (e.g. delay-imbalanced leftovers) lose their preferred
+// partners every round and end up absorbing the mismatch at the tree root,
+// where it is most expensive.
+const starveRounds = 3
+
+type pair struct {
+	key  float64
+	i, j int
+}
+
+type pairHeap []pair
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(a, b int) bool  { return h[a].key < h[b].key }
+func (h pairHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pair)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// New builds a queue over n initial items with the given distance function.
+func New(cfg Config, n int, dist func(i, j int) float64) *Queue {
+	if cfg.BatchFraction <= 0 || cfg.BatchFraction > 0.5 {
+		cfg.BatchFraction = 0.5
+	}
+	q := &Queue{cfg: cfg, dist: dist, alive: make([]bool, 0, 2*n), live: n}
+	for i := 0; i < n; i++ {
+		q.alive = append(q.alive, true)
+		q.age = append(q.age, 0)
+	}
+	if cfg.Strategy == Greedy {
+		for i := 0; i < n; i++ {
+			q.pushNN(i)
+		}
+	}
+	return q
+}
+
+// key returns the pair priority.
+func (q *Queue) key(i, j int, d float64) float64 {
+	if q.cfg.Key != nil {
+		return q.cfg.Key(i, j, d)
+	}
+	return d
+}
+
+// pushNN finds item i's best partner among live items and pushes the pair.
+func (q *Queue) pushNN(i int) {
+	best, bestKey := -1, math.Inf(1)
+	for j := range q.alive {
+		if j == i || !q.alive[j] {
+			continue
+		}
+		k := q.key(i, j, q.dist(i, j))
+		if k < bestKey {
+			best, bestKey = j, k
+		}
+	}
+	if best >= 0 {
+		heap.Push(&q.h, pair{key: bestKey, i: i, j: best})
+	}
+}
+
+// Next returns the next pair of live items to merge. ok is false when fewer
+// than two items remain. The caller must mark the result of the merge with
+// Merged before the subsequent Next (Greedy) or after draining the current
+// batch (Multi).
+func (q *Queue) Next() (i, j int, ok bool) {
+	if q.live < 2 {
+		return 0, 0, false
+	}
+	if q.cfg.Strategy == Greedy {
+		return q.nextGreedy()
+	}
+	return q.nextMulti()
+}
+
+func (q *Queue) nextGreedy() (int, int, bool) {
+	for q.h.Len() > 0 {
+		p := heap.Pop(&q.h).(pair)
+		ai, aj := q.alive[p.i], q.alive[p.j]
+		switch {
+		case ai && aj:
+			q.alive[p.i], q.alive[p.j] = false, false
+			q.live -= 2
+			return p.i, p.j, true
+		case ai:
+			q.pushNN(p.i) // partner died: refresh
+		case aj:
+			q.pushNN(p.j)
+		}
+	}
+	return 0, 0, false
+}
+
+func (q *Queue) nextMulti() (int, int, bool) {
+	if len(q.batch) == 0 {
+		q.buildBatch()
+		if len(q.batch) == 0 {
+			return 0, 0, false
+		}
+	}
+	p := q.batch[0]
+	q.batch = q.batch[1:]
+	q.alive[p.i], q.alive[p.j] = false, false
+	q.live -= 2
+	q.pending++
+	return p.i, p.j, true
+}
+
+// buildBatch computes the nearest-neighbor pairing of all live items and
+// keeps the shortest disjoint pairs, at least one and at most
+// ceil(live/2 · 2·BatchFraction).
+func (q *Queue) buildBatch() {
+	var ids []int
+	for i, a := range q.alive {
+		if a {
+			ids = append(ids, i)
+		}
+	}
+	if len(ids) < 2 {
+		return
+	}
+	cand := make([]pair, 0, len(ids))
+	for _, i := range ids {
+		best, bestKey := -1, math.Inf(1)
+		for _, j := range ids {
+			if i == j {
+				continue
+			}
+			k := q.key(i, j, q.dist(i, j))
+			if k < bestKey {
+				best, bestKey = j, k
+			}
+		}
+		cand = append(cand, pair{key: bestKey, i: i, j: best})
+	}
+	sort.Slice(cand, func(a, b int) bool { return cand[a].key < cand[b].key })
+	limit := int(math.Ceil(float64(len(ids)) * q.cfg.BatchFraction))
+	if limit < 1 {
+		limit = 1
+	}
+	used := make(map[int]bool, 2*limit)
+	for _, p := range cand {
+		if len(q.batch) >= limit {
+			break
+		}
+		if used[p.i] || used[p.j] {
+			continue
+		}
+		used[p.i], used[p.j] = true, true
+		q.batch = append(q.batch, p)
+	}
+	// Anti-starvation: force-pair long-waiting items with their best still
+	// unmatched partner, beyond the batch limit.
+	for _, i := range ids {
+		if used[i] || q.age[i] < starveRounds {
+			continue
+		}
+		best, bestKey := -1, math.Inf(1)
+		for _, j := range ids {
+			if j == i || used[j] {
+				continue
+			}
+			if k := q.key(i, j, q.dist(i, j)); k < bestKey {
+				best, bestKey = j, k
+			}
+		}
+		if best >= 0 {
+			used[i], used[best] = true, true
+			q.batch = append(q.batch, pair{key: bestKey, i: i, j: best})
+		}
+	}
+	// Items left unmatched this round age by one.
+	for _, i := range ids {
+		if !used[i] {
+			q.age[i]++
+		}
+	}
+}
+
+// Merged registers the item that replaced the most recent merge(s). Items
+// must be registered with strictly increasing indices equal to len(alive).
+func (q *Queue) Merged(newID int) {
+	if newID != len(q.alive) {
+		panic("order: Merged called with non-sequential id")
+	}
+	q.alive = append(q.alive, true)
+	q.age = append(q.age, 0)
+	q.live++
+	if q.cfg.Strategy == Greedy {
+		q.pushNN(newID)
+	} else if q.pending > 0 {
+		q.pending--
+	}
+}
+
+// Live returns the number of live (unmerged) items.
+func (q *Queue) Live() int { return q.live }

@@ -1,0 +1,83 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTablesComplete(t *testing.T) {
+	for name, table := range map[string][]Row{"I": TableI, "II": TableII} {
+		if len(table) != 25 {
+			t.Fatalf("table %s has %d rows, want 25", name, len(table))
+		}
+		for _, circuit := range []string{"r1", "r2", "r3", "r4", "r5"} {
+			if _, ok := Baseline(table, circuit); !ok {
+				t.Errorf("table %s: no baseline for %s", name, circuit)
+			}
+			for _, k := range []int{4, 6, 8, 10} {
+				if _, ok := Find(table, circuit, k, "AST-DME"); !ok {
+					t.Errorf("table %s: missing %s k=%d", name, circuit, k)
+				}
+			}
+		}
+	}
+}
+
+// TestReductionColumnsConsistent recomputes the thesis's Reduction column
+// from its wirelength columns: a transcription check on the embedded data.
+func TestReductionColumnsConsistent(t *testing.T) {
+	for name, table := range map[string][]Row{"I": TableI, "II": TableII} {
+		for _, r := range table {
+			if r.Algorithm != "AST-DME" {
+				continue
+			}
+			base, ok := Baseline(table, r.Circuit)
+			if !ok {
+				t.Fatal("missing baseline")
+			}
+			want := 100 * (base.Wirelen - r.Wirelen) / base.Wirelen
+			if math.Abs(want-r.ReductionPct) > 0.02 {
+				t.Errorf("table %s %s k=%d: reduction %v%% but wirelens imply %.2f%%",
+					name, r.Circuit, r.Groups, r.ReductionPct, want)
+			}
+		}
+	}
+}
+
+// TestPaperTrends encodes the thesis's qualitative claims as assertions on
+// its own data: intermingled reductions exceed clustered ones, both grow
+// with k on average, and AST-DME's reported skews grow with k.
+func TestPaperTrends(t *testing.T) {
+	meanReduction := func(table []Row, k int) float64 {
+		var sum float64
+		var n int
+		for _, r := range table {
+			if r.Algorithm == "AST-DME" && r.Groups == k {
+				sum += r.ReductionPct
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	if meanReduction(TableII, 10) <= meanReduction(TableI, 10) {
+		t.Error("paper data should show intermingled > clustered reductions")
+	}
+	if meanReduction(TableII, 10) <= meanReduction(TableII, 4) {
+		t.Error("paper data should show reductions growing with k (Table II)")
+	}
+	var skew4, skew10 float64
+	for _, r := range TableII {
+		if r.Algorithm != "AST-DME" {
+			continue
+		}
+		if r.Groups == 4 {
+			skew4 += r.MaxSkewPs
+		}
+		if r.Groups == 10 {
+			skew10 += r.MaxSkewPs
+		}
+	}
+	if skew10 <= skew4 {
+		t.Error("paper data should show skew growing with k")
+	}
+}

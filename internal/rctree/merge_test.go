@@ -1,0 +1,252 @@
+package rctree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+var testElmore = NewElmore(0.03, 0.02) // Ω/unit, fF/unit
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestElmoreWireDelay(t *testing.T) {
+	m := NewElmore(1, 1) // 1 Ω/unit, 1 fF/unit → delay in ps = 1e-3 · l(l/2+CL)
+	got := m.WireDelay(10, 5)
+	want := 1e-3 * 10 * (10.0/2 + 5)
+	if !almostEq(got, want, 1e-12) {
+		t.Errorf("WireDelay = %v, want %v", got, want)
+	}
+	if m.WireDelay(0, 100) != 0 {
+		t.Error("zero-length wire must have zero delay")
+	}
+	if m.WireCap(7) != 7 {
+		t.Errorf("WireCap = %v", m.WireCap(7))
+	}
+}
+
+func TestLinearModel(t *testing.T) {
+	m := Linear{}
+	if m.WireDelay(42, 99) != 42 {
+		t.Error("linear delay must equal length")
+	}
+	if m.WireCap(42) != 0 {
+		t.Error("linear model has no wire cap")
+	}
+	if e := m.SplitForDiff(10, 0, 0, 0); e != 5 {
+		t.Errorf("balanced split = %v, want 5", e)
+	}
+	if l := m.ExtendForDelay(0, 7); l != 7 {
+		t.Errorf("extend = %v, want 7", l)
+	}
+	if l := m.ExtendForDelay(0, -3); l != 0 {
+		t.Errorf("extend negative = %v, want 0", l)
+	}
+}
+
+func TestSplitForDiffConsistent(t *testing.T) {
+	models := []Model{testElmore, Linear{}}
+	r := rand.New(rand.NewSource(1))
+	for _, m := range models {
+		for i := 0; i < 2000; i++ {
+			d := 1 + r.Float64()*1e5
+			ca := r.Float64() * 500
+			cb := r.Float64() * 500
+			e := r.Float64() * d
+			diff := m.WireDelay(e, ca) - m.WireDelay(d-e, cb)
+			got := m.SplitForDiff(d, ca, cb, diff)
+			if !almostEq(got, e, 1e-6*(1+d)) {
+				t.Fatalf("%s: SplitForDiff inverse failed: got %v want %v", m.Name(), got, e)
+			}
+		}
+	}
+}
+
+func TestExtendForDelayInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		cl := r.Float64() * 1000
+		l := r.Float64() * 1e5
+		delay := testElmore.WireDelay(l, cl)
+		got := testElmore.ExtendForDelay(cl, delay)
+		if !almostEq(got, l, 1e-6*(1+l)) {
+			t.Fatalf("ExtendForDelay inverse: got %v want %v (cl=%v)", got, l, cl)
+		}
+	}
+}
+
+func TestBalanceZeroSkew(t *testing.T) {
+	models := []Model{testElmore, Linear{}}
+	r := rand.New(rand.NewSource(3))
+	for _, m := range models {
+		for i := 0; i < 3000; i++ {
+			d := r.Float64() * 1e5
+			ta := r.Float64() * 200
+			tb := r.Float64() * 200
+			ca := 1 + r.Float64()*500
+			cb := 1 + r.Float64()*500
+			mg := Balance(m, d, ta, ca, tb, cb)
+			if mg.Ea < 0 || mg.Eb < 0 {
+				t.Fatalf("%s: negative edge: %+v", m.Name(), mg)
+			}
+			if mg.Total() < d-1e-9*(1+d) {
+				t.Fatalf("%s: total %v < distance %v", m.Name(), mg.Total(), d)
+			}
+			da := ta + m.WireDelay(mg.Ea, ca)
+			db := tb + m.WireDelay(mg.Eb, cb)
+			if !almostEq(da, db, 1e-6*(1+da)) {
+				t.Fatalf("%s: unbalanced: %v vs %v (mg=%+v d=%v ta=%v tb=%v)",
+					m.Name(), da, db, mg, d, ta, tb)
+			}
+			// Minimality: no snaking unless necessary.
+			if mg.Snaked && mg.Ea > 0 && mg.Eb > 0 && mg.Total() > d+1e-9 {
+				t.Fatalf("%s: snaked on both sides: %+v", m.Name(), mg)
+			}
+		}
+	}
+}
+
+func TestBalanceTargetPrescribed(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		d := r.Float64() * 1e5
+		ta := r.Float64() * 200
+		tb := r.Float64() * 200
+		ca := 1 + r.Float64()*500
+		cb := 1 + r.Float64()*500
+		target := (r.Float64() - 0.5) * 100
+		mg := BalanceTarget(testElmore, d, ta, ca, tb, cb, target)
+		da := ta + testElmore.WireDelay(mg.Ea, ca)
+		db := tb + testElmore.WireDelay(mg.Eb, cb)
+		if !almostEq(da-db, target, 1e-6*(1+math.Abs(target)+da)) {
+			t.Fatalf("target missed: %v want %v", da-db, target)
+		}
+	}
+}
+
+func TestBalanceSnakingCases(t *testing.T) {
+	m := testElmore
+	// A far slower than B: all wire on B plus snake.
+	mg := Balance(m, 100, 1000, 10, 0, 10)
+	if !mg.Snaked || mg.Ea != 0 || mg.Eb <= 100 {
+		t.Errorf("expected snake on B: %+v", mg)
+	}
+	// Coincident roots.
+	mg = Balance(m, 0, 5, 10, 5, 10)
+	if mg.Total() != 0 || mg.Snaked {
+		t.Errorf("coincident equal roots: %+v", mg)
+	}
+	mg = Balance(m, 0, 10, 10, 5, 10)
+	if !mg.Snaked || mg.Ea != 0 || mg.Eb <= 0 {
+		t.Errorf("coincident unequal roots: %+v", mg)
+	}
+	db := m.WireDelay(mg.Eb, 10)
+	if !almostEq(db, 5, 1e-9) {
+		t.Errorf("snake delay = %v, want 5", db)
+	}
+}
+
+func TestBalanceClampedNeverSnakes(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		d := r.Float64() * 1e5
+		ta := r.Float64() * 2000 // large spreads to force clamping sometimes
+		tb := r.Float64() * 2000
+		ca := 1 + r.Float64()*500
+		cb := 1 + r.Float64()*500
+		mg := BalanceClamped(testElmore, d, ta, ca, tb, cb)
+		if mg.Snaked {
+			t.Fatal("clamped merge must not snake")
+		}
+		if !almostEq(mg.Total(), d, 1e-9*(1+d)) {
+			t.Fatalf("clamped merge wire %v != d %v", mg.Total(), d)
+		}
+		// The clamped solution is at least as balanced as either endpoint.
+		skew := func(ea, eb float64) float64 {
+			return math.Abs((ta + testElmore.WireDelay(ea, ca)) - (tb + testElmore.WireDelay(eb, cb)))
+		}
+		s := skew(mg.Ea, mg.Eb)
+		if s > skew(0, d)+1e-9 && s > skew(d, 0)+1e-9 {
+			t.Fatalf("clamped skew %v worse than both endpoints", s)
+		}
+	}
+}
+
+func TestBoundedBalanceRespectsBound(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 3000; i++ {
+		d := r.Float64() * 1e5
+		bound := r.Float64() * 20
+		// Children intervals already within bound.
+		wa := r.Float64() * bound
+		wb := r.Float64() * bound
+		ia := Interval{Lo: r.Float64() * 100, Hi: 0}
+		ia.Hi = ia.Lo + wa
+		ib := Interval{Lo: r.Float64() * 100, Hi: 0}
+		ib.Hi = ib.Lo + wb
+		ca := 1 + r.Float64()*500
+		cb := 1 + r.Float64()*500
+		mg := BoundedBalance(testElmore, d, ia, ca, ib, cb, bound)
+		if mg.Ea < 0 || mg.Eb < 0 || mg.Total() < d-1e-9*(1+d) {
+			t.Fatalf("bad merge %+v (d=%v)", mg, d)
+		}
+		got := MergedInterval(testElmore, mg, ia, ca, ib, cb)
+		if got.Width() > bound+1e-6*(1+bound) {
+			t.Fatalf("iter %d: spread %v exceeds bound %v (mg=%+v ia=%v ib=%v)",
+				i, got.Width(), bound, mg, ia, ib)
+		}
+		if !mg.Snaked && !almostEq(mg.Total(), d, 1e-9*(1+d)) {
+			t.Fatalf("non-snaked merge has extra wire: %v vs %v", mg.Total(), d)
+		}
+	}
+}
+
+func TestBoundedBalanceZeroBoundEqualsBalance(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		d := r.Float64() * 1e5
+		ta := r.Float64() * 200
+		tb := r.Float64() * 200
+		ca := 1 + r.Float64()*500
+		cb := 1 + r.Float64()*500
+		a := Balance(testElmore, d, ta, ca, tb, cb)
+		b := BoundedBalance(testElmore, d, PointInterval(ta), ca, PointInterval(tb), cb, 0)
+		if !almostEq(a.Ea, b.Ea, 1e-6*(1+d)) || !almostEq(a.Eb, b.Eb, 1e-6*(1+d)) {
+			t.Fatalf("zero-bound mismatch: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestBoundedBalanceSavesWireVersusZeroSkew(t *testing.T) {
+	// With a generous bound and a large initial delay difference, the bounded
+	// merge should need less wire than the exact-zero-skew merge.
+	d := 100.0
+	ta, tb := 500.0, 0.0
+	ca, cb := 50.0, 50.0
+	zs := Balance(testElmore, d, ta, ca, tb, cb)
+	bd := BoundedBalance(testElmore, d, PointInterval(ta), ca, PointInterval(tb), cb, 400)
+	if !zs.Snaked {
+		t.Fatal("test setup: zero-skew merge should snake")
+	}
+	if bd.Total() >= zs.Total() {
+		t.Errorf("bounded merge %v should be shorter than zero-skew %v", bd.Total(), zs.Total())
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	a := Interval{1, 3}
+	b := Interval{2, 5}
+	c := Cover(a, b)
+	if c != (Interval{1, 5}) {
+		t.Errorf("Cover = %v", c)
+	}
+	if a.Width() != 2 {
+		t.Errorf("Width = %v", a.Width())
+	}
+	if a.Shift(10) != (Interval{11, 13}) {
+		t.Errorf("Shift = %v", a.Shift(10))
+	}
+	if PointInterval(4).Width() != 0 {
+		t.Error("point interval has width")
+	}
+}

@@ -1,0 +1,121 @@
+package rctree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestElmoreConstructorRejectsBadParams(t *testing.T) {
+	for _, rc := range [][2]float64{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewElmore(%v,%v) did not panic", rc[0], rc[1])
+				}
+			}()
+			NewElmore(rc[0], rc[1])
+		}()
+	}
+}
+
+// TestXLinearity: the merge-shift function X(e) = WD(e,ca) − WD(d−e,cb) must
+// be linear in e for every model — the property the split solvers rely on.
+func TestXLinearity(t *testing.T) {
+	models := []Model{NewElmore(0.1, 0.02), Linear{}}
+	r := rand.New(rand.NewSource(21))
+	for _, m := range models {
+		for i := 0; i < 1000; i++ {
+			d := 1 + r.Float64()*1e5
+			ca := r.Float64() * 500
+			cb := r.Float64() * 500
+			x := func(e float64) float64 {
+				return m.WireDelay(e, ca) - m.WireDelay(d-e, cb)
+			}
+			e1, e2 := r.Float64()*d, r.Float64()*d
+			mid := (e1 + e2) / 2
+			want := (x(e1) + x(e2)) / 2
+			if math.Abs(x(mid)-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("%s: X not linear: X(mid)=%v, avg=%v", m.Name(), x(mid), want)
+			}
+		}
+	}
+}
+
+// TestWireDelayMonotone: delay grows with both length and load.
+func TestWireDelayMonotone(t *testing.T) {
+	m := NewElmore(0.1, 0.02)
+	f := func(l, cl, dl, dc float64) bool {
+		l = math.Abs(l)
+		cl = math.Abs(cl)
+		dl = math.Abs(dl)
+		dc = math.Abs(dc)
+		return m.WireDelay(l+dl, cl) >= m.WireDelay(l, cl)-1e-12 &&
+			m.WireDelay(l, cl+dc) >= m.WireDelay(l, cl)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestElongationForInverse: ElongationFor must invert the combined
+// direct+upstream delay expression.
+func TestElongationForInverse(t *testing.T) {
+	m := NewElmore(0.1, 0.02)
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 2000; i++ {
+		edgeLen := r.Float64() * 1e4
+		cDown := r.Float64() * 2000
+		rUp := r.Float64() * 5 // ps/fF scale upstream resistance
+		gamma := r.Float64() * 1e4
+		delay := m.WireDelay(gamma, cDown+m.WireCap(edgeLen)) + rUp*m.WireCap(gamma)
+		got := m.ElongationFor(delay, edgeLen, cDown, rUp)
+		if math.Abs(got-gamma) > 1e-6*(1+gamma) {
+			t.Fatalf("inverse failed: got %v want %v", got, gamma)
+		}
+	}
+	if m.ElongationFor(-5, 1, 1, 1) != 0 {
+		t.Error("negative delay must give zero elongation")
+	}
+}
+
+// TestElongationUpstreamMatters: ignoring upstream resistance must
+// overestimate γ (the bug class the term exists to prevent).
+func TestElongationUpstreamMatters(t *testing.T) {
+	m := NewElmore(0.1, 0.02)
+	withUp := m.ElongationFor(50, 1000, 100, 10)
+	without := m.ElongationFor(50, 1000, 100, 0)
+	if withUp >= without {
+		t.Errorf("upstream-aware γ %v should be below naive %v", withUp, without)
+	}
+}
+
+func TestWireResLinear(t *testing.T) {
+	m := NewElmore(0.1, 0.02)
+	if math.Abs(m.WireRes(2000)-2*m.WireRes(1000)) > 1e-12 {
+		t.Error("WireRes not linear")
+	}
+	if (Linear{}).WireRes(100) != 0 {
+		t.Error("pathlength model has no resistance")
+	}
+	if (Linear{}).ElongationFor(7, 1, 2, 3) != 7 {
+		t.Error("pathlength elongation must equal delay")
+	}
+}
+
+// TestBalanceSymmetry: swapping the two subtrees mirrors the solution.
+func TestBalanceSymmetry(t *testing.T) {
+	m := NewElmore(0.1, 0.02)
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 1000; i++ {
+		d := r.Float64() * 1e4
+		ta, tb := r.Float64()*100, r.Float64()*100
+		ca, cb := 1+r.Float64()*300, 1+r.Float64()*300
+		ab := Balance(m, d, ta, ca, tb, cb)
+		ba := Balance(m, d, tb, cb, ta, ca)
+		if math.Abs(ab.Ea-ba.Eb) > 1e-6*(1+d) || math.Abs(ab.Eb-ba.Ea) > 1e-6*(1+d) {
+			t.Fatalf("asymmetric: %+v vs %+v", ab, ba)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package spicelite
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/ctree"
+	"repro/internal/eval"
+	"repro/internal/geom"
+)
+
+const (
+	testR = 0.1
+	testC = 0.02
+)
+
+func simulateTree(t *testing.T, n int, seed int64) (*Result, *eval.Report) {
+	t.Helper()
+	in := bench.Small(n, seed)
+	res, err := core.ZST(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(res.Root, in, Params{ROhmPerUnit: testR, CFFPerUnit: testC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := eval.Analyze(res.Root, in, core.DefaultModel(), in.Source)
+	return sim, rep
+}
+
+func TestSingleWireDelayAgainstAnalytic(t *testing.T) {
+	// One sink driven through one wire: the transient 50% delay of a
+	// distributed RC line is ≈ 0.4·RC + 0.7·(RdC + RCl + RdCl...); here we
+	// only require the simulated delay to land in the right ballpark of the
+	// Elmore estimate (0.35×..1.1× is the classic range for 50% crossing).
+	in := &ctree.Instance{
+		Name:      "wire",
+		Sinks:     []ctree.Sink{{ID: 0, Loc: geom.Point{X: 20000, Y: 0}, CapFF: 20}},
+		Source:    geom.Point{X: 0, Y: 0},
+		NumGroups: 1,
+	}
+	res, err := core.ZST(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(res.Root, in, Params{ROhmPerUnit: testR, CFFPerUnit: testC, DriverOhm: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elmore := core.DefaultModel().WireDelay(20000, 20)
+	ratio := sim.Delay[0] / elmore
+	if ratio < 0.3 || ratio > 1.2 {
+		t.Errorf("50%% delay %v vs Elmore %v (ratio %.2f) out of plausible range", sim.Delay[0], elmore, ratio)
+	}
+}
+
+func TestElmoreVsTransientSkewSmall(t *testing.T) {
+	// The thesis's Ch. III claim: Elmore delay errors largely cancel in
+	// skew. A zero-skew (by Elmore) tree must show small transient skew
+	// relative to its absolute delays.
+	sim, rep := simulateTree(t, 40, 3)
+	if rep.GlobalSkew > 1e-6*(1+rep.MaxDelay) {
+		t.Fatalf("test setup: Elmore skew %v not ~0", rep.GlobalSkew)
+	}
+	relSkew := sim.Skew() / sim.Delay[0]
+	if relSkew > 0.05 {
+		t.Errorf("transient skew %.3g ps is %.1f%% of delay %.3g ps — cancellation failed",
+			sim.Skew(), 100*relSkew, sim.Delay[0])
+	}
+	t.Logf("transient delay ≈ %.0f ps, transient skew = %.2f ps, Elmore skew = %.2g ps",
+		sim.Delay[0], sim.Skew(), rep.GlobalSkew)
+}
+
+func TestTransientDelaysCorrelateWithElmore(t *testing.T) {
+	in := bench.Small(25, 8)
+	res, err := core.EXTBST(in, 500, core.Options{}) // loose bound: delays differ
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(res.Root, in, Params{ROhmPerUnit: testR, CFFPerUnit: testC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := eval.Analyze(res.Root, in, core.DefaultModel(), in.Source)
+	// Rank correlation: the sink ordering by Elmore and by transient delay
+	// must broadly agree (count concordant pairs).
+	concordant, total := 0, 0
+	for i := range rep.SinkDelay {
+		for j := i + 1; j < len(rep.SinkDelay); j++ {
+			de := rep.SinkDelay[i] - rep.SinkDelay[j]
+			dt := sim.Delay[i] - sim.Delay[j]
+			if math.Abs(de) < 1 { // below a ps: ties, skip
+				continue
+			}
+			total++
+			if de*dt > 0 {
+				concordant++
+			}
+		}
+	}
+	if total > 0 && float64(concordant)/float64(total) < 0.8 {
+		t.Errorf("only %d/%d pairs concordant between Elmore and transient", concordant, total)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	in := bench.Small(5, 1)
+	res, err := core.ZST(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(res.Root, in, Params{}); err == nil {
+		t.Error("missing parasitics accepted")
+	}
+	res.Root.Visit(func(n *ctree.Node) { n.Placed = false })
+	if _, err := Simulate(res.Root, in, Params{ROhmPerUnit: testR, CFFPerUnit: testC}); err == nil {
+		t.Error("unembedded tree accepted")
+	}
+}
+
+func TestVoltagesMonotoneToVdd(t *testing.T) {
+	// All sinks must eventually cross 50%: Simulate errors otherwise, so a
+	// successful run over several seeds doubles as a stability test.
+	for _, seed := range []int64{1, 2, 3} {
+		sim, _ := simulateTree(t, 15, seed)
+		for id, d := range sim.Delay {
+			if d <= 0 || math.IsNaN(d) {
+				t.Fatalf("seed %d: sink %d delay %v", seed, id, d)
+			}
+		}
+	}
+}
+
+func TestRampInputDelaysCrossing(t *testing.T) {
+	in := bench.Small(10, 2)
+	res, err := core.ZST(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := Simulate(res.Root, in, Params{ROhmPerUnit: testR, CFFPerUnit: testC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ramp, err := Simulate(res.Root, in, Params{ROhmPerUnit: testR, CFFPerUnit: testC, RampPs: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A slow input ramp must delay every 50% crossing, roughly by half the
+	// ramp for delays well beyond the ramp.
+	for id := range step.Delay {
+		if ramp.Delay[id] <= step.Delay[id] {
+			t.Fatalf("sink %d: ramp delay %v not above step delay %v", id, ramp.Delay[id], step.Delay[id])
+		}
+	}
+	// Threshold-crossing skew is nearly input-shape invariant for a linear
+	// network (exactly invariant only for shifted identical waveforms; a few
+	// ps of shape interaction and step-size noise are expected).
+	if math.Abs(ramp.Skew()-step.Skew()) > 2+0.1*step.Skew() {
+		t.Errorf("skew changed with input shape: %v vs %v", ramp.Skew(), step.Skew())
+	}
+}
+
+func TestSlewMeasured(t *testing.T) {
+	in := bench.Small(10, 3)
+	res, err := core.ZST(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(res.Root, in, Params{ROhmPerUnit: testR, CFFPerUnit: testC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, s := range sim.Slew {
+		if math.IsNaN(s) {
+			t.Logf("sink %d: 90%% not reached in horizon", id)
+			continue
+		}
+		if s <= 0 {
+			t.Fatalf("sink %d: non-positive slew %v", id, s)
+		}
+		// RC responses are slower from 10 to 90% than from 0 to 50%.
+		if s < sim.Delay[id]*0.3 {
+			t.Errorf("sink %d: slew %v implausibly small vs delay %v", id, s, sim.Delay[id])
+		}
+	}
+}

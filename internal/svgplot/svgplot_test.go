@@ -1,0 +1,57 @@
+package svgplot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/ctree"
+)
+
+func TestRenderProducesWellFormedSVG(t *testing.T) {
+	in := bench.Intermingled(bench.Small(30, 2), 3, 5)
+	res, err := core.Build(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Render(&sb, res.Root, in, Options{Title: "test", ShowRegions: true}); err != nil {
+		t.Fatal(err)
+	}
+	svg := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "<circle", "<polyline", "test"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if n := strings.Count(svg, "<circle"); n != len(in.Sinks) {
+		t.Errorf("%d circles for %d sinks", n, len(in.Sinks))
+	}
+	// One polyline per tree edge.
+	if n := strings.Count(svg, "<polyline"); n != 2*(len(in.Sinks)-1) {
+		t.Errorf("%d polylines for %d edges", n, 2*(len(in.Sinks)-1))
+	}
+}
+
+func TestRenderRejectsUnembedded(t *testing.T) {
+	in := bench.Small(5, 1)
+	res, err := core.ZST(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Root.Visit(func(n *ctree.Node) { n.Placed = false })
+	var sb strings.Builder
+	if err := Render(&sb, res.Root, in, Options{}); err == nil {
+		t.Error("unembedded tree accepted")
+	}
+}
+
+func TestGroupColorsCycle(t *testing.T) {
+	if GroupColor(0) == "" || GroupColor(3) == "" {
+		t.Error("empty colors")
+	}
+	if GroupColor(0) != GroupColor(len(palette)) {
+		t.Error("palette does not cycle")
+	}
+}

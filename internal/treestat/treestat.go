@@ -1,0 +1,132 @@
+// Package treestat computes structural statistics of routed clock trees:
+// depth, balance, wire distribution by level, snaking overhead. The numbers
+// back the analysis sections of EXPERIMENTS.md (e.g. how much wirelength
+// lives at the bottom levels, where the associative-skew freedom acts).
+package treestat
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/ctree"
+	"repro/internal/geom"
+)
+
+// Stats summarizes one routed tree.
+type Stats struct {
+	// Sinks and Internal count the node kinds; Depth is the maximum
+	// root-to-leaf edge count.
+	Sinks, Internal, Depth int
+	// TotalWire is the committed tree wirelength (without source wire).
+	TotalWire float64
+	// SnakeWire is the committed wire in excess of the geometric child
+	// distances (wire snaking / sneaking); SnakedEdges counts the merges
+	// carrying any.
+	SnakeWire   float64
+	SnakedEdges int
+	// WireByLevel is the committed wirelength of merges at each level,
+	// where a merge's level is the height of its taller child subtree
+	// (leaf merges are level 0).
+	WireByLevel []float64
+	// MeanImbalance is the average |size(left)−size(right)| / size(node)
+	// over internal nodes: 0 for perfectly balanced trees.
+	MeanImbalance float64
+}
+
+// Collect walks the routed tree.
+func Collect(root *ctree.Node) *Stats {
+	s := &Stats{}
+	var walk func(n *ctree.Node) (height, size int)
+	walk = func(n *ctree.Node) (int, int) {
+		if n.IsLeaf() {
+			s.Sinks++
+			return 0, 1
+		}
+		s.Internal++
+		hl, szl := walk(n.Left)
+		hr, szr := walk(n.Right)
+		h := 1 + max(hl, hr)
+		level := max(hl, hr)
+		for len(s.WireByLevel) <= level {
+			s.WireByLevel = append(s.WireByLevel, 0)
+		}
+		wire := n.EdgeL + n.EdgeR
+		s.WireByLevel[level] += wire
+		s.TotalWire += wire
+		d := geom.DistRR(n.Left.Region, n.Right.Region)
+		if excess := wire - d; excess > 1e-9*(1+wire) {
+			s.SnakeWire += excess
+			s.SnakedEdges++
+		}
+		sz := szl + szr
+		s.MeanImbalance += math.Abs(float64(szl-szr)) / float64(sz)
+		if h > s.Depth {
+			s.Depth = h
+		}
+		return h, sz
+	}
+	walk(root)
+	if s.Internal > 0 {
+		s.MeanImbalance /= float64(s.Internal)
+	}
+	return s
+}
+
+// BottomFraction returns the fraction of tree wire committed by merges at
+// levels < k.
+func (s *Stats) BottomFraction(k int) float64 {
+	if s.TotalWire == 0 {
+		return 0
+	}
+	var w float64
+	for l, lw := range s.WireByLevel {
+		if l < k {
+			w += lw
+		}
+	}
+	return w / s.TotalWire
+}
+
+// Write renders the statistics as a small report.
+func (s *Stats) Write(w io.Writer) {
+	fmt.Fprintf(w, "sinks %d, internal %d, depth %d\n", s.Sinks, s.Internal, s.Depth)
+	fmt.Fprintf(w, "wire %.0f (snaked %.0f over %d edges, %.2f%%)\n",
+		s.TotalWire, s.SnakeWire, s.SnakedEdges, 100*s.SnakeWire/math.Max(s.TotalWire, 1))
+	fmt.Fprintf(w, "mean size imbalance %.3f\n", s.MeanImbalance)
+	fmt.Fprintf(w, "wire by level:")
+	for l, lw := range s.WireByLevel {
+		fmt.Fprintf(w, " L%d:%.0f%%", l, 100*lw/math.Max(s.TotalWire, 1))
+		if l >= 11 {
+			fmt.Fprintf(w, " …")
+			break
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// LevelQuantile returns the level below which fraction q of the wire lies.
+func (s *Stats) LevelQuantile(q float64) int {
+	target := q * s.TotalWire
+	var acc float64
+	levels := make([]int, len(s.WireByLevel))
+	for i := range levels {
+		levels[i] = i
+	}
+	sort.Ints(levels)
+	for _, l := range levels {
+		acc += s.WireByLevel[l]
+		if acc >= target {
+			return l
+		}
+	}
+	return len(s.WireByLevel) - 1
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+package treestat
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func TestCollectOnRoutedTree(t *testing.T) {
+	in := bench.Small(64, 3)
+	res, err := core.ZST(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Collect(res.Root)
+	if s.Sinks != 64 || s.Internal != 63 {
+		t.Fatalf("counts: %d sinks %d internal", s.Sinks, s.Internal)
+	}
+	if s.Depth < 6 { // a 64-leaf binary tree is at least 6 deep
+		t.Errorf("depth %d", s.Depth)
+	}
+	if s.TotalWire <= 0 {
+		t.Error("no wire")
+	}
+	var sum float64
+	for _, w := range s.WireByLevel {
+		sum += w
+	}
+	if d := sum - s.TotalWire; d > 1e-6*s.TotalWire || d < -1e-6*s.TotalWire {
+		t.Errorf("level wire %v != total %v", sum, s.TotalWire)
+	}
+	if s.MeanImbalance < 0 || s.MeanImbalance > 1 {
+		t.Errorf("imbalance %v", s.MeanImbalance)
+	}
+	if f := s.BottomFraction(3); f <= 0 || f > 1 {
+		t.Errorf("bottom fraction %v", f)
+	}
+	if s.BottomFraction(s.Depth+1) < 0.999 {
+		t.Error("full-depth fraction should be 1")
+	}
+	if q := s.LevelQuantile(0.5); q < 0 || q >= len(s.WireByLevel) {
+		t.Errorf("median level %d", q)
+	}
+
+	var sb strings.Builder
+	s.Write(&sb)
+	if !strings.Contains(sb.String(), "wire by level") {
+		t.Error("report text missing")
+	}
+}
+
+func TestSnakeAccounting(t *testing.T) {
+	in := bench.Small(100, 7)
+	res, err := core.ZST(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Collect(res.Root)
+	if s.SnakeWire < 0 {
+		t.Error("negative snake wire")
+	}
+	if s.SnakedEdges == 0 && s.SnakeWire > 0 {
+		t.Error("snake wire without snaked edges")
+	}
+	// Zero-skew trees on random instances practically always snake a little.
+	if s.SnakedEdges == 0 {
+		t.Log("note: no snaked edges on this seed")
+	}
+}
