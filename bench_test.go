@@ -186,6 +186,48 @@ func BenchmarkSpiceLite(b *testing.B) {
 	b.ReportMetric(rep.GlobalSkew, "elmore_skew_ps")
 }
 
+// BenchmarkOrderScaling measures end-to-end zero-skew routing with the
+// all-pairs oracle pairer versus the spatial grid pairer (internal/spatial)
+// at increasing sink counts, on both uniform and power-law-clustered
+// placements. wirelen must agree between the two engines at equal n (the
+// differential tests pin exact equality); pair_scans records the pairing
+// work the grid makes sub-quadratic. Under -short only the smallest size
+// runs (the CI smoke); the full run includes the 10k-sink instance backing
+// the ≥10× speedup target.
+func BenchmarkOrderScaling(b *testing.B) {
+	sizes := []int{1000, 10000}
+	if testing.Short() {
+		sizes = []int{1000}
+	}
+	for _, dist := range []string{"uniform", "powerlaw"} {
+		for _, n := range sizes {
+			var in *ctree.Instance
+			if dist == "uniform" {
+				in = bench.Small(n, 9)
+			} else {
+				in = bench.PowerLaw(n, 32, 1.5, 9)
+			}
+			for _, pc := range []struct {
+				name string
+				mode core.PairerMode
+			}{{"scan", core.PairerScan}, {"grid", core.PairerGrid}} {
+				b.Run(fmt.Sprintf("%s/n=%d/pairer=%s", dist, n, pc.name), func(b *testing.B) {
+					var res *core.Result
+					var err error
+					for i := 0; i < b.N; i++ {
+						res, err = core.ZST(in, core.Options{Pairer: pc.mode})
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(res.Wirelength, "wirelen")
+					b.ReportMetric(float64(res.Stats.PairScans), "pair_scans")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkSubstrate micro-benchmarks the geometry and delay kernels every
 // merge exercises.
 func BenchmarkSubstrate(b *testing.B) {

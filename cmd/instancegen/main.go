@@ -1,12 +1,16 @@
 // Command instancegen synthesizes clock routing benchmark instances: the
 // r1–r5 suite of the thesis's experiments (see DESIGN.md §3 for the
-// substitution rationale) or custom sizes, with clustered or intermingled
-// sink groups.
+// substitution rationale), the large-instance scaling circuits
+// (l10k/l50k/l100k, 10k–100k sinks for the spatial pairing subsystem), or
+// custom sizes, with clustered or intermingled sink groups and uniform or
+// power-law-clustered sink placement.
 //
 // Usage:
 //
 //	instancegen -circuit r3 -groups 8 -mode intermingled -o r3k8.json
 //	instancegen -sinks 500 -groups 4 -mode clustered -seed 7 -o custom.json
+//	instancegen -circuit l100k -groups 16 -mode clustered -o l100k.json
+//	instancegen -sinks 50000 -dist powerlaw -clusters 40 -alpha 1.5 -o hot.json
 package main
 
 import (
@@ -21,24 +25,41 @@ import (
 
 func main() {
 	var (
-		circuit = flag.String("circuit", "", "suite circuit name (r1..r5); overrides -sinks")
-		sinks   = flag.Int("sinks", 300, "number of sinks for a custom instance")
-		groups  = flag.Int("groups", 1, "number of sink groups")
-		mode    = flag.String("mode", "intermingled", "grouping mode: clustered | intermingled")
-		seed    = flag.Int64("seed", 1, "random seed for custom instances and intermingled grouping")
-		out     = flag.String("o", "", "output file (default stdout)")
+		circuit  = flag.String("circuit", "", "suite circuit name (r1..r5, l10k/l50k/l100k); overrides -sinks")
+		sinks    = flag.Int("sinks", 300, "number of sinks for a custom instance")
+		groups   = flag.Int("groups", 1, "number of sink groups")
+		mode     = flag.String("mode", "intermingled", "grouping mode: clustered | intermingled")
+		dist     = flag.String("dist", "uniform", "sink placement: uniform | powerlaw (power-law-sized clusters)")
+		clusters = flag.Int("clusters", 32, "cluster count for -dist powerlaw")
+		alpha    = flag.Float64("alpha", 1.5, "power-law exponent for -dist powerlaw cluster sizes")
+		seed     = flag.Int64("seed", 1, "random seed for custom instances and intermingled grouping")
+		out      = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
-	var in *ctree.Instance
-	if *circuit != "" {
-		sp, err := bench.BySuiteName(*circuit)
-		if err != nil {
+	n, sd := *sinks, *seed
+	var sp bench.Spec
+	haveSpec := *circuit != ""
+	if haveSpec {
+		var err error
+		if sp, err = bench.BySuiteName(*circuit); err != nil {
 			fatal(err)
 		}
-		in = bench.Generate(sp)
-	} else {
-		in = bench.Small(*sinks, *seed)
+		n, sd = sp.Sinks, sp.Seed
+	}
+
+	var in *ctree.Instance
+	switch *dist {
+	case "uniform":
+		if haveSpec {
+			in = bench.Generate(sp) // preserves the circuit's calibrated die edge
+		} else {
+			in = bench.Small(n, sd)
+		}
+	case "powerlaw":
+		in = bench.PowerLaw(n, *clusters, *alpha, sd)
+	default:
+		fatal(fmt.Errorf("unknown placement %q (want uniform | powerlaw)", *dist))
 	}
 
 	if *groups > 1 {
@@ -46,6 +67,8 @@ func main() {
 		case "clustered":
 			in = bench.Clustered(in, *groups)
 		case "intermingled":
+			// Grouping is seeded by -seed even for named circuits, whose
+			// placement seed is fixed by the suite spec.
 			in = bench.Intermingled(in, *groups, *seed*101)
 		default:
 			fatal(fmt.Errorf("unknown mode %q", *mode))

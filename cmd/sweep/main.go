@@ -1,18 +1,26 @@
-// Command sweep produces CSV data for the parameter studies behind the
-// figures of EXPERIMENTS.md:
+// Command sweep produces data for the parameter studies behind the figures
+// of EXPERIMENTS.md:
 //
 //	sweep -mode bound      # bounded-skew wirelength vs skew bound (Fig. 1 curve)
 //	sweep -mode groups     # AST-DME vs EXT-BST vs #groups, both groupings
 //	sweep -mode difficulty # AST-DME gain vs degree of intermingling (Blend)
 //	sweep -mode offsetfloat# wire/skew trade-off of the InterSkewBound knob
+//	sweep -mode scale      # sinks vs CPU seconds vs wirelength, JSON series
 //
-// All modes accept -circuit (r1..r5, default r1) and write CSV to stdout.
+// The table modes accept -circuit (r1..r5, default r1) and write CSV to
+// stdout. The scale mode routes zero-skew instances of increasing size
+// (-sizes, -dist, -pairer) and emits a JSON series suitable for tracking the
+// scaling trajectory in BENCH_*.json files across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -21,12 +29,88 @@ import (
 	"repro/internal/experiments"
 )
 
+// scalePoint is one measurement of the -mode scale series.
+type scalePoint struct {
+	Sinks      int     `json:"sinks"`
+	Dist       string  `json:"dist"`
+	Pairer     string  `json:"pairer"`
+	CPUSeconds float64 `json:"cpu_seconds"`
+	Wirelength float64 `json:"wirelength"`
+	PairScans  int64   `json:"pair_scans"`
+	SkewPs     float64 `json:"skew_ps"`
+}
+
+func runScale(sizes string, dist string, pairers string, seed int64) {
+	var ns []int
+	for _, f := range strings.Split(sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			fatal(fmt.Errorf("bad -sizes entry %q", f))
+		}
+		ns = append(ns, n)
+	}
+	modes := map[string]core.PairerMode{
+		"auto": core.PairerAuto, "scan": core.PairerScan, "grid": core.PairerGrid,
+	}
+	var runs []string
+	if pairers == "both" {
+		runs = []string{"scan", "grid"}
+	} else {
+		if _, ok := modes[pairers]; !ok {
+			fatal(fmt.Errorf("bad -pairer %q (want auto | scan | grid | both)", pairers))
+		}
+		runs = []string{pairers}
+	}
+	var series []scalePoint
+	for _, n := range ns {
+		var in *ctree.Instance
+		switch dist {
+		case "uniform":
+			in = bench.Small(n, seed)
+		case "powerlaw":
+			in = bench.PowerLaw(n, 32, 1.5, seed)
+		default:
+			fatal(fmt.Errorf("bad -dist %q (want uniform | powerlaw)", dist))
+		}
+		for _, pm := range runs {
+			start := time.Now()
+			res, err := core.ZST(in, core.Options{Pairer: modes[pm]})
+			if err != nil {
+				fatal(err)
+			}
+			elapsed := time.Since(start).Seconds()
+			rep := eval.Analyze(res.Root, in, core.DefaultModel(), in.Source)
+			series = append(series, scalePoint{
+				Sinks: n, Dist: dist, Pairer: pm,
+				CPUSeconds: elapsed, Wirelength: res.Wirelength,
+				PairScans: res.Stats.PairScans, SkewPs: rep.GlobalSkew,
+			})
+			fmt.Fprintf(os.Stderr, "scale: n=%d pairer=%s %.2fs wire=%.0f scans=%d\n",
+				n, pm, elapsed, res.Wirelength, res.Stats.PairScans)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(series); err != nil {
+		fatal(err)
+	}
+}
+
 func main() {
 	var (
-		mode    = flag.String("mode", "groups", "bound | groups | difficulty | offsetfloat")
+		mode    = flag.String("mode", "groups", "bound | groups | difficulty | offsetfloat | scale")
 		circuit = flag.String("circuit", "r1", "suite circuit (r1..r5)")
+		sizes   = flag.String("sizes", "1000,2000,5000,10000", "scale mode: comma-separated sink counts")
+		dist    = flag.String("dist", "uniform", "scale mode: sink placement (uniform | powerlaw)")
+		pairer  = flag.String("pairer", "grid", "scale mode: pairing engine (auto | scan | grid | both)")
+		seed    = flag.Int64("seed", 9, "scale mode: instance seed")
 	)
 	flag.Parse()
+
+	if *mode == "scale" {
+		runScale(*sizes, *dist, *pairer, *seed)
+		return
+	}
 
 	sp, err := bench.BySuiteName(*circuit)
 	if err != nil {

@@ -191,3 +191,88 @@ func TestBlendInterpolates(t *testing.T) {
 		}
 	}
 }
+
+func TestPowerLaw(t *testing.T) {
+	in := PowerLaw(500, 16, 1.5, 7)
+	if len(in.Sinks) != 500 || in.NumGroups != 1 {
+		t.Fatalf("got %d sinks, %d groups", len(in.Sinks), in.NumGroups)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All sinks must land on the die.
+	xmin, ymin, xmax, ymax := boundsOf(in)
+	if xmin < 0 || ymin < 0 || xmax > in.Source.X*2+1 || ymax > in.Source.Y*2+1 {
+		t.Errorf("sinks off-die: x[%v,%v] y[%v,%v]", xmin, xmax, ymin, ymax)
+	}
+	// Same seed reproduces, different seed differs.
+	again := PowerLaw(500, 16, 1.5, 7)
+	other := PowerLaw(500, 16, 1.5, 8)
+	same, diff := true, false
+	for i := range in.Sinks {
+		if in.Sinks[i].Loc != again.Sinks[i].Loc {
+			same = false
+		}
+		if in.Sinks[i].Loc != other.Sinks[i].Loc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed did not reproduce")
+	}
+	if !diff {
+		t.Error("different seed produced identical placement")
+	}
+	// Power-law concentration: the most crowded small neighborhood should
+	// hold far more than the uniform share. Count sinks per die sixteenth.
+	const g = 4
+	counts := make([]int, g*g)
+	w, h := (xmax-xmin)/g, (ymax-ymin)/g
+	for _, s := range in.Sinks {
+		cx := int((s.Loc.X - xmin) / w)
+		cy := int((s.Loc.Y - ymin) / h)
+		if cx >= g {
+			cx = g - 1
+		}
+		if cy >= g {
+			cy = g - 1
+		}
+		counts[cy*g+cx]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 2*len(in.Sinks)/(g*g) {
+		t.Errorf("max cell population %d shows no clustering (uniform share %d)",
+			max, len(in.Sinks)/(g*g))
+	}
+	// Degenerate knobs stay valid.
+	if err := PowerLaw(50, 1, 0, 3).Validate(); err != nil {
+		t.Errorf("clusters=1 alpha=0: %v", err)
+	}
+	if err := PowerLaw(50, 0, 2, 3).Validate(); err != nil {
+		t.Errorf("clusters=0 clamps: %v", err)
+	}
+}
+
+func TestLargeSuite(t *testing.T) {
+	for _, sp := range LargeSuite() {
+		if sp.Sinks < 10000 || sp.Side <= 0 {
+			t.Errorf("%s: bad spec %+v", sp.Name, sp)
+		}
+		got, err := BySuiteName(sp.Name)
+		if err != nil || got != sp {
+			t.Errorf("BySuiteName(%s) = %+v, %v", sp.Name, got, err)
+		}
+	}
+	// The r-suite lookups still work.
+	if _, err := BySuiteName("r3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := BySuiteName("nope"); err == nil {
+		t.Error("unknown name did not error")
+	}
+}

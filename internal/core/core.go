@@ -67,7 +67,28 @@ import (
 	"repro/internal/geom"
 	"repro/internal/order"
 	"repro/internal/rctree"
+	"repro/internal/spatial"
 )
+
+// PairerMode selects the nearest-neighbor engine behind the merging order.
+type PairerMode int
+
+const (
+	// PairerAuto (the default) uses the spatial grid pairer above
+	// GridPairerThreshold sinks whenever it is exact for the run's merge
+	// key, and the all-pairs oracle otherwise.
+	PairerAuto PairerMode = iota
+	// PairerScan forces the all-pairs O(n²) oracle.
+	PairerScan
+	// PairerGrid forces the spatial grid pairer. The caller is responsible
+	// for key soundness (key ≥ distance; see internal/spatial).
+	PairerGrid
+)
+
+// GridPairerThreshold is the sink count at which PairerAuto switches from
+// the all-pairs oracle to the spatial grid pairer. Below it the oracle's
+// cache-friendly scan wins; above it the grid's sub-quadratic pairing does.
+const GridPairerThreshold = 2048
 
 // Options configures a routing run. The zero value routes associative-skew
 // with zero intra-group bound under the default Elmore parameters.
@@ -96,6 +117,14 @@ type Options struct {
 	GlobalBound float64
 	// Order configures the merging order.
 	Order order.Config
+	// Pairer selects the nearest-neighbor engine of the merging order:
+	// PairerAuto (grid above GridPairerThreshold when exact), PairerScan
+	// (the all-pairs oracle), or PairerGrid (force the spatial grid).
+	// Ignored when Order.Pairer is set explicitly. Auto never selects the
+	// grid under DelayTargetBias or a custom Order.Key: both can push the
+	// pair priority below the pair distance, which defeats the grid's
+	// geometric pruning bound (see internal/spatial).
+	Pairer PairerMode
 	// DelayTargetBias, when positive, enables the delay-target merging-order
 	// enhancement (thesis enhancement 2, after Chaturvedi–Hu): the pair
 	// priority becomes cost − bias·(meanDelay_i + meanDelay_j). Units are
@@ -162,6 +191,10 @@ type Stats struct {
 	// SneakWire is their total added wirelength.
 	SneakEvents int
 	SneakWire   float64
+	// PairScans is the number of candidate pair evaluations the merging
+	// order performed — the work metric the spatial pairer drives
+	// sub-quadratic (all-pairs pairing scans Θ(n²) of them per round).
+	PairScans int64
 	// SneakUnresolved counts merges where sneaking could not (affordably)
 	// reconcile conflicting windows; the residual intra-group skew is then
 	// observable via package eval.
@@ -211,6 +244,14 @@ func Build(in *ctree.Instance, opt Options) (*Result, error) {
 		if opt.GroupOffsets[0] != 0 {
 			return nil, fmt.Errorf("core: GroupOffsets[0] must be 0 (the reference group)")
 		}
+	}
+
+	if opt.Pairer == PairerGrid && opt.DelayTargetBias > 0 && opt.Order.Key == nil {
+		// The bias subtracts delay terms from the default merge key, so the
+		// key can drop below the pair distance and the grid's geometric
+		// pruning bound no longer holds — no caller action can make it
+		// sound, so refuse rather than silently return a different tree.
+		return nil, fmt.Errorf("core: PairerGrid is incompatible with DelayTargetBias (biased keys defeat grid pruning); use PairerScan or PairerAuto")
 	}
 
 	for _, pc := range opt.PairConstraints {
@@ -279,16 +320,17 @@ func newGroupUF(n int) *groupUF {
 	return u
 }
 
-// find returns g's union root and the cumulative offset of g relative to it,
-// compressing paths.
+// find returns g's union root and the cumulative offset of g relative to it.
+// It deliberately does NOT compress paths: find is called from the merge-key
+// closure, which the order queue's batch pairing evaluates from concurrent
+// goroutines, so it must not mutate. Chains stay short (one link per union,
+// and group counts are small), so the walk is cheap.
 func (u *groupUF) find(g int) (root int, off float64) {
-	if u.parent[g] == g {
-		return g, 0
+	for u.parent[g] != g {
+		off += u.off[g]
+		g = u.parent[g]
 	}
-	r, o := u.find(u.parent[g])
-	u.parent[g] = r
-	u.off[g] += o
-	return r, u.off[g]
+	return g, off
 }
 
 // union merges the root rb into ra such that a group with normalized delay
@@ -427,6 +469,7 @@ func (b *builder) run() {
 		return geom.DistOO(b.nodes[i].ActiveRegion(), b.nodes[j].ActiveRegion())
 	}
 	ocfg := b.opt.Order
+	userKey := ocfg.Key != nil
 	if ocfg.Key == nil {
 		bias := b.opt.DelayTargetBias
 		ocfg.Key = func(i, j int, d float64) float64 {
@@ -439,6 +482,20 @@ func (b *builder) run() {
 			return k
 		}
 	}
+	if ocfg.Pairer == nil && b.useGridPairer(n, userKey) {
+		// Index nodes by the u/v bounds of their active regions: the bound
+		// distance under-estimates the true octagon distance, keeping the
+		// grid's pruning sound, while dist/key stay exact. mergeKey only
+		// ever adds non-negative snaking excess to the distance (the
+		// delay-target bias, which can subtract, is excluded above), so
+		// key ≥ dist holds and grid pairing is exact.
+		box := func(id int) geom.Rect { return b.nodes[id].ActiveRegion().Bounds() }
+		boxes := make([]geom.Rect, n)
+		for i := range boxes {
+			boxes[i] = box(i)
+		}
+		ocfg.Pairer = spatial.NewGridPairer(spatial.AutoCell(boxes), box, dist, ocfg.Key)
+	}
 	q := order.New(ocfg, n, dist)
 	for {
 		i, j, ok := q.Next()
@@ -450,6 +507,7 @@ func (b *builder) run() {
 		b.nodes = append(b.nodes, c)
 		q.Merged(c.ID)
 	}
+	b.stats.PairScans = q.Scans()
 	b.root = b.nodes[len(b.nodes)-1]
 	if b.root.Deferred {
 		src := geom.OctFromUV(geom.ToUV(b.in.Source))
@@ -1049,9 +1107,22 @@ func (b *builder) splitWindow(na, nb *ctree.Node, d, xLo, xHi float64, compromis
 	}
 }
 
+// useGridPairer decides whether PairerAuto (or a forced mode) selects the
+// spatial grid engine for this run.
+func (b *builder) useGridPairer(n int, userKey bool) bool {
+	switch b.opt.Pairer {
+	case PairerGrid:
+		return true
+	case PairerScan:
+		return false
+	default:
+		return n >= GridPairerThreshold && b.opt.DelayTargetBias == 0 && !userKey
+	}
+}
+
 // String summarizes the stats.
 func (s Stats) String() string {
-	return fmt.Sprintf("merges=%d (same=%d cross=%d shared=%d deferred=%d unions=%d) snakes=%d sneaks=%d (+%.0f wire, %d unresolved)",
+	return fmt.Sprintf("merges=%d (same=%d cross=%d shared=%d deferred=%d unions=%d) snakes=%d sneaks=%d (+%.0f wire, %d unresolved) scans=%d",
 		s.Merges, s.SameGroup, s.CrossGroup, s.Shared, s.Deferred, s.GroupUnions,
-		s.MergeSnakes, s.SneakEvents, s.SneakWire, s.SneakUnresolved)
+		s.MergeSnakes, s.SneakEvents, s.SneakWire, s.SneakUnresolved, s.PairScans)
 }

@@ -10,6 +10,12 @@
 // this implementation both achieve exact zero skew and comparable
 // wirelength on the same instances, guarding the much more general engine
 // against regressions in its degenerate case.
+//
+// Above gridThreshold sinks the nearest-neighbor queries go through the
+// uniform bucket grid of internal/spatial (segments are exact rectangles, so
+// the grid ranking is exact and results are identical to the linear scan —
+// a differential test pins this). Small instances keep the pure scan, so the
+// oracle role for core's tests is untouched by the index.
 package dme
 
 import (
@@ -19,7 +25,12 @@ import (
 	"repro/internal/ctree"
 	"repro/internal/geom"
 	"repro/internal/rctree"
+	"repro/internal/spatial"
 )
+
+// gridThreshold is the sink count at which mergeAll switches its
+// nearest-neighbor queries from the linear scan to the spatial grid.
+const gridThreshold = 512
 
 // Node is a subtree in the classic DME sense: a merging segment (a Manhattan
 // arc, kept as a degenerate-or-thin geom.Rect), the exact zero-skew delay of
@@ -66,7 +77,7 @@ func Build(in *ctree.Instance, m rctree.Model) (*Result, error) {
 
 	// Greedy nearest-pair merging via a lazy pairing heap (segment
 	// distances never change while both endpoints live).
-	root := mergeAll(active, m)
+	root := mergeAll(active, m, len(active) >= gridThreshold)
 
 	res := &Result{Root: root}
 	res.SourceWire = geom.DistRP(root.Seg, geom.ToUV(in.Source))
@@ -106,7 +117,11 @@ func (p *pq) Pop() interface{} {
 	return x
 }
 
-func mergeAll(items []*Node, m rctree.Model) *Node {
+// mergeAll drains the items into one tree. useGrid answers the
+// nearest-segment queries from the bucket grid instead of a linear scan;
+// both paths produce identical trees (segments are exact rectangles, and a
+// differential test pins the equality).
+func mergeAll(items []*Node, m rctree.Model, useGrid bool) *Node {
 	if len(items) == 1 {
 		return items[0]
 	}
@@ -117,12 +132,30 @@ func mergeAll(items []*Node, m rctree.Model) *Node {
 	}
 	dist := func(i, j int) float64 { return geom.DistRR(nodes[i].Seg, nodes[j].Seg) }
 	var h pq
+
+	var idx *spatial.Index
+	if useGrid {
+		boxes := make([]geom.Rect, len(nodes))
+		for i := range nodes {
+			boxes[i] = nodes[i].Seg
+		}
+		idx = spatial.New(spatial.AutoCell(boxes))
+		for i := range nodes {
+			idx.Insert(i, nodes[i].Seg)
+		}
+	}
 	pushNN := func(i int) {
 		best, bestD := -1, math.Inf(1)
-		for j := range nodes {
-			if j != i && alive[j] {
-				if d := dist(i, j); d < bestD {
-					best, bestD = j, d
+		if idx != nil {
+			best, bestD, _ = idx.Nearest(nodes[i].Seg,
+				func(j int) bool { return j == i },
+				func(j int) float64 { return dist(i, j) })
+		} else {
+			for j := range nodes {
+				if j != i && alive[j] {
+					if d := dist(i, j); d < bestD {
+						best, bestD = j, d
+					}
 				}
 			}
 		}
@@ -139,9 +172,16 @@ func mergeAll(items []*Node, m rctree.Model) *Node {
 		switch {
 		case alive[it.i] && alive[it.j]:
 			alive[it.i], alive[it.j] = false, false
+			if idx != nil {
+				idx.Delete(it.i)
+				idx.Delete(it.j)
+			}
 			c := merge(nodes[it.i], nodes[it.j], m)
 			nodes = append(nodes, c)
 			alive = append(alive, true)
+			if idx != nil {
+				idx.Insert(len(nodes)-1, c.Seg)
+			}
 			pushNN(len(nodes) - 1)
 			live--
 		case alive[it.i]:

@@ -127,3 +127,46 @@ func TestInvalidRejected(t *testing.T) {
 		t.Error("invalid instance accepted")
 	}
 }
+
+// TestGridMatchesScanNN: the spatial-grid nearest-neighbor path (engaged
+// above gridThreshold in Build) must produce exactly the tree the linear
+// scan produces, on an instance large enough for the grid to matter.
+func TestGridMatchesScanNN(t *testing.T) {
+	in := bench.Small(gridThreshold+37, 17)
+	mk := func(useGrid bool) *Node {
+		active := make([]*Node, 0, len(in.Sinks))
+		for i := range in.Sinks {
+			s := &in.Sinks[i]
+			active = append(active, &Node{
+				Seg:  geom.RectFromPoint(s.Loc),
+				Cap:  s.CapFF,
+				Sink: s,
+			})
+		}
+		return mergeAll(active, model, useGrid)
+	}
+	scanRoot := mk(false)
+	gridRoot := mk(true)
+	if sw, gw := wirelength(scanRoot), wirelength(gridRoot); sw != gw {
+		t.Errorf("wirelength %v (scan) != %v (grid)", sw, gw)
+	}
+	// The whole merge structure must match, not just the totals.
+	var walk func(a, b *Node)
+	walk = func(a, b *Node) {
+		if (a.Sink == nil) != (b.Sink == nil) {
+			t.Fatal("tree shapes differ")
+		}
+		if a.Sink != nil {
+			if a.Sink.ID != b.Sink.ID {
+				t.Fatalf("leaf %d (scan) != %d (grid)", a.Sink.ID, b.Sink.ID)
+			}
+			return
+		}
+		if a.Seg != b.Seg || a.EdgeL != b.EdgeL || a.EdgeR != b.EdgeR {
+			t.Fatalf("node mismatch: %+v vs %+v", a.Seg, b.Seg)
+		}
+		walk(a.Left, b.Left)
+		walk(a.Right, b.Right)
+	}
+	walk(scanRoot, gridRoot)
+}

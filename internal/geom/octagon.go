@@ -80,6 +80,13 @@ func snap(lo, hi *float64) {
 	}
 }
 
+// Bounds returns the octagon's u/v bounding rectangle, dropping the
+// diagonal constraints. DistRR over Bounds lower-bounds DistOO, which is
+// what spatial-index pruning requires.
+func (o Octagon) Bounds() Rect {
+	return Rect{ULo: o.ULo, UHi: o.UHi, VLo: o.VLo, VHi: o.VHi}
+}
+
 // Inflate returns the Minkowski sum with the L∞ ball of radius r ≥ 0
 // (equivalently, the set of points within Manhattan distance r in xy-space).
 func (o Octagon) Inflate(r float64) Octagon {

@@ -12,12 +12,30 @@
 // registers the replacement item. Distances between two live items never
 // change during a run (regions are committed at creation), which the greedy
 // strategy exploits for a simple lazy-deletion pairing heap.
+//
+// # Pairers
+//
+// All nearest-partner queries go through the pluggable Pairer interface.
+// The built-in implementation (Config.Pairer == nil) is the all-pairs scan:
+// exact for any key function and O(n) per query, which makes every round of
+// the Multi strategy O(n²) — the oracle that caps practical instances at a
+// few thousand sinks. Sub-quadratic engines (see internal/spatial for the
+// uniform-grid pairer after Edahiro's bucket decomposition) plug in through
+// Config.Pairer and must reproduce the oracle's results exactly on tie-free
+// inputs; differential tests in internal/spatial enforce this.
+//
+// Batch pairing (NearestAll) may shard its queries across goroutines. All
+// results are written by position and ties break toward the smallest item
+// index, so merge sequences are reproducible across GOMAXPROCS settings.
 package order
 
 import (
 	"container/heap"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Strategy selects how aggressively merges are batched.
@@ -34,9 +52,36 @@ const (
 	Greedy
 )
 
+// Pair is a candidate merge: item I paired with its best partner J at
+// priority Key. J is -1 when no partner exists.
+type Pair struct {
+	Key  float64
+	I, J int
+}
+
+// Pairer is the nearest-partner engine behind a Queue. Contract:
+//
+//   - Insert and Delete maintain the live set; item ids are never reused and
+//     only grow. Both are called from a single goroutine.
+//   - Nearest returns the live partner j ≠ id minimizing the pair key. Exact
+//     key ties break toward the smallest j, so results are deterministic.
+//     ok is false when no candidate remains.
+//   - NearestAll is the batch form over a slice of live ids. It may shard the
+//     queries across goroutines but must return, at each position, exactly
+//     what Nearest(ids[t]) would (J = -1 when no partner exists).
+//   - Scans reports the cumulative number of candidate key evaluations — the
+//     pairing-work metric recorded by the scaling benchmarks.
+type Pairer interface {
+	Insert(id int)
+	Delete(id int)
+	Nearest(id int) (Pair, bool)
+	NearestAll(ids []int) []Pair
+	Scans() int64
+}
+
 // Config parameterizes a Queue.
 type Config struct {
-	// Strategy selects Greedy or Multi (default Greedy).
+	// Strategy selects Multi (the default) or Greedy.
 	Strategy Strategy
 	// BatchFraction is the fraction of live items merged per Multi round,
 	// in (0, 0.5]; 0 selects the default 0.5.
@@ -44,23 +89,32 @@ type Config struct {
 	// Key optionally overrides the pair priority. It receives the two item
 	// indices and their distance and returns the priority (lower merges
 	// first). Nil means priority = distance. Used for the delay-target
-	// enhancement.
+	// enhancement. Batch pairing evaluates Key from concurrent goroutines,
+	// so it must be safe for concurrent calls (pure functions are; closures
+	// that memoize or otherwise mutate shared state are not).
 	Key func(i, j int, dist float64) float64
+	// Pairer overrides the nearest-partner engine. Nil selects the built-in
+	// all-pairs scan (the exact O(n²)-per-round oracle). Sub-quadratic
+	// engines must satisfy the Pairer contract; note that grid pairers prune
+	// on geometric lower bounds and therefore require Key ≥ distance for
+	// every pair (see internal/spatial).
+	Pairer Pairer
 }
 
 // Queue produces the sequence of merges. Item indices 0..n-1 are the initial
 // items; Merged registers replacement items with increasing indices.
 type Queue struct {
-	cfg   Config
-	dist  func(i, j int) float64
-	alive []bool
-	live  int
+	cfg    Config
+	dist   func(i, j int) float64
+	pairer Pairer
+	alive  []bool
+	live   int
 
 	// Greedy state.
 	h pairHeap
 
 	// Multi state.
-	batch   []pair
+	batch   []Pair
 	age     []int // rounds an item has survived unmerged (anti-starvation)
 	pending int   // merges issued since last batch build whose results are not yet registered
 }
@@ -72,17 +126,26 @@ type Queue struct {
 // where it is most expensive.
 const starveRounds = 3
 
-type pair struct {
-	key  float64
-	i, j int
+// pairLess is the (Key, I, J) strict total order used everywhere a set of
+// candidate pairs is ranked: the index tie-breaks keep Greedy's heap pops
+// and Multi's batch selection deterministic under exact key ties.
+func pairLess(a, b Pair) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	if a.I != b.I {
+		return a.I < b.I
+	}
+	return a.J < b.J
 }
 
-type pairHeap []pair
+// pairHeap orders candidates by pairLess.
+type pairHeap []Pair
 
 func (h pairHeap) Len() int            { return len(h) }
-func (h pairHeap) Less(a, b int) bool  { return h[a].key < h[b].key }
+func (h pairHeap) Less(a, b int) bool  { return pairLess(h[a], h[b]) }
 func (h pairHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pair)) }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(Pair)) }
 func (h *pairHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
@@ -97,13 +160,24 @@ func New(cfg Config, n int, dist func(i, j int) float64) *Queue {
 		cfg.BatchFraction = 0.5
 	}
 	q := &Queue{cfg: cfg, dist: dist, alive: make([]bool, 0, 2*n), live: n}
+	q.pairer = cfg.Pairer
+	if q.pairer == nil {
+		q.pairer = &scanPairer{dist: dist, key: q.key}
+	}
 	for i := 0; i < n; i++ {
 		q.alive = append(q.alive, true)
 		q.age = append(q.age, 0)
+		q.pairer.Insert(i)
 	}
 	if cfg.Strategy == Greedy {
-		for i := 0; i < n; i++ {
-			q.pushNN(i)
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		for _, p := range q.pairer.NearestAll(ids) {
+			if p.J >= 0 {
+				heap.Push(&q.h, p)
+			}
 		}
 	}
 	return q
@@ -119,18 +193,8 @@ func (q *Queue) key(i, j int, d float64) float64 {
 
 // pushNN finds item i's best partner among live items and pushes the pair.
 func (q *Queue) pushNN(i int) {
-	best, bestKey := -1, math.Inf(1)
-	for j := range q.alive {
-		if j == i || !q.alive[j] {
-			continue
-		}
-		k := q.key(i, j, q.dist(i, j))
-		if k < bestKey {
-			best, bestKey = j, k
-		}
-	}
-	if best >= 0 {
-		heap.Push(&q.h, pair{key: bestKey, i: i, j: best})
+	if p, ok := q.pairer.Nearest(i); ok {
+		heap.Push(&q.h, p)
 	}
 }
 
@@ -148,19 +212,26 @@ func (q *Queue) Next() (i, j int, ok bool) {
 	return q.nextMulti()
 }
 
+// retire marks both items of a chosen pair dead, here and in the pairer.
+func (q *Queue) retire(i, j int) {
+	q.alive[i], q.alive[j] = false, false
+	q.pairer.Delete(i)
+	q.pairer.Delete(j)
+	q.live -= 2
+}
+
 func (q *Queue) nextGreedy() (int, int, bool) {
 	for q.h.Len() > 0 {
-		p := heap.Pop(&q.h).(pair)
-		ai, aj := q.alive[p.i], q.alive[p.j]
+		p := heap.Pop(&q.h).(Pair)
+		ai, aj := q.alive[p.I], q.alive[p.J]
 		switch {
 		case ai && aj:
-			q.alive[p.i], q.alive[p.j] = false, false
-			q.live -= 2
-			return p.i, p.j, true
+			q.retire(p.I, p.J)
+			return p.I, p.J, true
 		case ai:
-			q.pushNN(p.i) // partner died: refresh
+			q.pushNN(p.I) // partner died: refresh
 		case aj:
-			q.pushNN(p.j)
+			q.pushNN(p.J)
 		}
 	}
 	return 0, 0, false
@@ -175,15 +246,16 @@ func (q *Queue) nextMulti() (int, int, bool) {
 	}
 	p := q.batch[0]
 	q.batch = q.batch[1:]
-	q.alive[p.i], q.alive[p.j] = false, false
-	q.live -= 2
+	q.retire(p.I, p.J)
 	q.pending++
-	return p.i, p.j, true
+	return p.I, p.J, true
 }
 
 // buildBatch computes the nearest-neighbor pairing of all live items and
 // keeps the shortest disjoint pairs, at least one and at most
-// ceil(live/2 · 2·BatchFraction).
+// ceil(live/2 · 2·BatchFraction). The pairing itself runs through the
+// pairer's batch query (parallelizable); the final disjoint selection is a
+// deterministic sequential sweep in (key, index) order.
 func (q *Queue) buildBatch() {
 	var ids []int
 	for i, a := range q.alive {
@@ -194,55 +266,57 @@ func (q *Queue) buildBatch() {
 	if len(ids) < 2 {
 		return
 	}
-	cand := make([]pair, 0, len(ids))
-	for _, i := range ids {
-		best, bestKey := -1, math.Inf(1)
-		for _, j := range ids {
-			if i == j {
-				continue
-			}
-			k := q.key(i, j, q.dist(i, j))
-			if k < bestKey {
-				best, bestKey = j, k
-			}
+	all := q.pairer.NearestAll(ids)
+	cand := all[:0]
+	for _, p := range all {
+		if p.J >= 0 {
+			cand = append(cand, p)
 		}
-		cand = append(cand, pair{key: bestKey, i: i, j: best})
 	}
-	sort.Slice(cand, func(a, b int) bool { return cand[a].key < cand[b].key })
+	// pairLess is a strict total order over the candidates (one entry per
+	// item), so the sorted sequence — and hence the selected batch — is
+	// reproducible regardless of sort stability or pairing parallelism.
+	sort.Slice(cand, func(a, b int) bool { return pairLess(cand[a], cand[b]) })
 	limit := int(math.Ceil(float64(len(ids)) * q.cfg.BatchFraction))
 	if limit < 1 {
 		limit = 1
 	}
 	used := make(map[int]bool, 2*limit)
-	for _, p := range cand {
-		if len(q.batch) >= limit {
-			break
-		}
-		if used[p.i] || used[p.j] {
-			continue
-		}
-		used[p.i], used[p.j] = true, true
-		q.batch = append(q.batch, p)
-	}
-	// Anti-starvation: force-pair long-waiting items with their best still
-	// unmatched partner, beyond the batch limit.
+	// Anti-starvation first: force-pair long-waiting items before the normal
+	// selection can claim their partners. Running this after the selection
+	// (the original order) leaves a starved item stranded whenever the
+	// round's disjoint pairing covers every other item, which on odd-sized
+	// rounds is exactly the starved item's fate. The partner is chosen by
+	// raw distance, not key: the key penalty is what starved the item in the
+	// first place, and the rule merges it "regardless of cost". Starved
+	// items are rare, so the O(live) scan here does not affect scaling.
 	for _, i := range ids {
 		if used[i] || q.age[i] < starveRounds {
 			continue
 		}
-		best, bestKey := -1, math.Inf(1)
+		best, bestD := -1, math.Inf(1)
 		for _, j := range ids {
 			if j == i || used[j] {
 				continue
 			}
-			if k := q.key(i, j, q.dist(i, j)); k < bestKey {
-				best, bestKey = j, k
+			if d := q.dist(i, j); d < bestD || (d == bestD && j < best) {
+				best, bestD = j, d
 			}
 		}
 		if best >= 0 {
 			used[i], used[best] = true, true
-			q.batch = append(q.batch, pair{key: bestKey, i: i, j: best})
+			q.batch = append(q.batch, Pair{Key: bestD, I: i, J: best})
 		}
+	}
+	for _, p := range cand {
+		if len(q.batch) >= limit {
+			break
+		}
+		if used[p.I] || used[p.J] {
+			continue
+		}
+		used[p.I], used[p.J] = true, true
+		q.batch = append(q.batch, p)
 	}
 	// Items left unmatched this round age by one.
 	for _, i := range ids {
@@ -261,6 +335,7 @@ func (q *Queue) Merged(newID int) {
 	q.alive = append(q.alive, true)
 	q.age = append(q.age, 0)
 	q.live++
+	q.pairer.Insert(newID)
 	if q.cfg.Strategy == Greedy {
 		q.pushNN(newID)
 	} else if q.pending > 0 {
@@ -270,3 +345,97 @@ func (q *Queue) Merged(newID int) {
 
 // Live returns the number of live (unmerged) items.
 func (q *Queue) Live() int { return q.live }
+
+// Scans reports the cumulative number of candidate key evaluations performed
+// by the pairer — the pairing-work metric of the scaling benchmarks.
+func (q *Queue) Scans() int64 { return q.pairer.Scans() }
+
+// scanPairer is the built-in oracle engine: a linear scan over all live
+// items per query. Exact for any key function.
+type scanPairer struct {
+	alive []bool
+	dist  func(i, j int) float64
+	key   func(i, j int, d float64) float64
+	scans atomic.Int64
+}
+
+func (p *scanPairer) Insert(id int) {
+	for len(p.alive) <= id {
+		p.alive = append(p.alive, false)
+	}
+	p.alive[id] = true
+}
+
+func (p *scanPairer) Delete(id int) {
+	if id >= 0 && id < len(p.alive) {
+		p.alive[id] = false
+	}
+}
+
+func (p *scanPairer) Nearest(i int) (Pair, bool) {
+	best, bestKey := -1, math.Inf(1)
+	var n int64
+	for j := range p.alive {
+		if j == i || !p.alive[j] {
+			continue
+		}
+		n++
+		k := p.key(i, j, p.dist(i, j))
+		if k < bestKey || (k == bestKey && j < best) {
+			best, bestKey = j, k
+		}
+	}
+	p.scans.Add(n)
+	if best < 0 {
+		return Pair{I: i, J: -1}, false
+	}
+	return Pair{Key: bestKey, I: i, J: best}, true
+}
+
+func (p *scanPairer) NearestAll(ids []int) []Pair {
+	out := make([]Pair, len(ids))
+	ParallelChunks(len(ids), func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			out[t], _ = p.Nearest(ids[t])
+		}
+	})
+	return out
+}
+
+func (p *scanPairer) Scans() int64 { return p.scans.Load() }
+
+// parallelMin is the batch size below which ParallelChunks runs inline:
+// under ~a couple hundred queries the goroutine fan-out costs more than the
+// scan itself.
+const parallelMin = 192
+
+// ParallelChunks splits [0, n) into contiguous chunks, one per available
+// CPU, and calls f(lo, hi) for each — inline when n is small. Callers write
+// results by position, so output is deterministic regardless of scheduling.
+// Shared by the built-in scan pairer and external engines (internal/spatial).
+func ParallelChunks(n int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelMin || workers <= 1 {
+		if n > 0 {
+			f(0, n)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,70 @@
+package spatial
+
+import (
+	"repro/internal/geom"
+	"repro/internal/order"
+)
+
+// GridPairer adapts Index to order.Pairer, the pluggable nearest-partner
+// contract of the merging queue. It is the default engine above the router's
+// size threshold; the all-pairs scan built into package order remains the
+// oracle below it and for keys the grid cannot prune exactly.
+//
+// box supplies the current bounding box of an item at Insert time (for the
+// router: the u/v bounds of the node's active region). dist is the exact
+// pair distance and key the pair priority; key == nil means priority =
+// distance. For exact results key(i,j,d) must be ≥ d for every pair — see
+// the package documentation on pruning soundness.
+type GridPairer struct {
+	idx  *Index
+	box  func(id int) geom.Rect
+	dist func(i, j int) float64
+	key  func(i, j int, d float64) float64
+}
+
+var _ order.Pairer = (*GridPairer)(nil)
+
+// NewGridPairer builds a GridPairer over an empty index with the given cell
+// edge (see AutoCell).
+func NewGridPairer(cell float64, box func(id int) geom.Rect, dist func(i, j int) float64, key func(i, j int, d float64) float64) *GridPairer {
+	if key == nil {
+		key = func(_, _ int, d float64) float64 { return d }
+	}
+	return &GridPairer{idx: New(cell), box: box, dist: dist, key: key}
+}
+
+// Index exposes the underlying grid (diagnostics and tests).
+func (p *GridPairer) Index() *Index { return p.idx }
+
+// Insert files the item under its current bounding box.
+func (p *GridPairer) Insert(id int) { p.idx.Insert(id, p.box(id)) }
+
+// Delete retires a merged item.
+func (p *GridPairer) Delete(id int) { p.idx.Delete(id) }
+
+// Nearest returns id's best live partner by key, smallest index on ties.
+func (p *GridPairer) Nearest(id int) (order.Pair, bool) {
+	j, k, ok := p.idx.Nearest(p.idx.Box(id),
+		func(c int) bool { return c == id },
+		func(c int) float64 { return p.key(id, c, p.dist(id, c)) })
+	if !ok {
+		return order.Pair{I: id, J: -1}, false
+	}
+	return order.Pair{Key: k, I: id, J: j}, true
+}
+
+// NearestAll shards the batch of queries across CPUs. Queries only read the
+// index, and every result is written by position with smallest-index
+// tie-breaking, so the output is identical at any GOMAXPROCS.
+func (p *GridPairer) NearestAll(ids []int) []order.Pair {
+	out := make([]order.Pair, len(ids))
+	order.ParallelChunks(len(ids), func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			out[t], _ = p.Nearest(ids[t])
+		}
+	})
+	return out
+}
+
+// Scans reports cumulative candidate evaluations (the pairing-work metric).
+func (p *GridPairer) Scans() int64 { return p.idx.Scans() }

@@ -1,0 +1,389 @@
+// Package spatial provides a Manhattan-metric spatial index for the merging
+// loci of DME-family clock routers, and the sub-quadratic nearest-partner
+// engine (GridPairer) that plugs it into the merging queue of package order.
+//
+// # Geometry
+//
+// Items are geom.Rect bounding boxes in the 45°-rotated uv-plane, where the
+// Manhattan (L1) distance of the physical plane is the L∞ gap between boxes
+// (geom.DistRR). Router regions that are octagons (deferred merging regions)
+// index by their u/v bounding rectangle: DistRR over the bounds lower-bounds
+// the true octagon distance, which keeps grid pruning sound while the
+// router's own distance function stays exact.
+//
+// # Grid
+//
+// The index is a uniform bucket grid, after Edahiro's bucket decomposition
+// for greedy-DME: square cells of edge `cell`, each holding the ids of the
+// items whose boxes overlap it. Insert and Delete are incremental, so merged
+// subtrees retire and their replacements register without re-indexing. Items
+// spanning more than maxSpanCells cells go to a small overflow list that
+// every query scans linearly — oversized regions appear near the top of the
+// merge tree, when few items are live, so the list stays short.
+//
+// Queries run an expanding ring search. Cells at Chebyshev ring r around the
+// query's own cells lie at L∞ distance ≥ (r−1)·cell from the query box, so
+// the search stops as soon as the best key found under-runs the next ring's
+// lower bound. Exactness therefore requires the candidate key to dominate
+// the bounding-box distance: true for plain distance (greedy-DME, classic
+// DME) and for the router's snaking-aware merge keys, which only add
+// non-negative elongation excess to the distance. Keys that can drop below
+// the distance (the delay-target bias enhancement) defeat the pruning bound,
+// and the router falls back to the all-pairs oracle for them.
+//
+// Exact key ties break toward the smallest item id. Ties are always visited
+// before pruning cuts in (the ring bound is strict), so the tie-break is
+// global, matching the all-pairs scan and keeping runs reproducible.
+package spatial
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/geom"
+)
+
+// maxSpanCells caps the number of grid cells one item may occupy before it
+// is moved to the linearly-scanned overflow list.
+const maxSpanCells = 64
+
+type cellKey struct{ u, v int32 }
+
+// itemSpan records where an item was filed so Delete can unfile it.
+type itemSpan struct {
+	cu0, cu1, cv0, cv1 int32
+	overflow           bool
+	live               bool
+}
+
+// Index is the uniform bucket grid. Insert and Delete must be called from a
+// single goroutine; Nearest and KNearest are safe to call concurrently with
+// each other (but not with Insert/Delete), which the batch pairing of
+// GridPairer relies on.
+type Index struct {
+	cell  float64
+	cells map[cellKey][]int32
+	spans []itemSpan
+	boxes []geom.Rect
+	over  []int32 // ids of oversized items
+	n     int
+
+	// Cell-coordinate bounds of every bucketed insert ever made, clamping
+	// the ring enumeration. They only grow; deletes do not shrink them.
+	bounded            bool
+	gu0, gu1, gv0, gv1 int32
+
+	scans atomic.Int64
+}
+
+// New returns an empty index with the given cell edge (≤ 0 selects 1).
+func New(cell float64) *Index {
+	if !(cell > 0) {
+		cell = 1
+	}
+	return &Index{cell: cell, cells: make(map[cellKey][]int32)}
+}
+
+// AutoCell returns a cell edge targeting about one item per cell: the larger
+// edge of the boxes' common bounding box divided by √n. Degenerate inputs
+// (no extent) yield 1.
+func AutoCell(boxes []geom.Rect) float64 {
+	if len(boxes) == 0 {
+		return 1
+	}
+	bb := boxes[0]
+	for _, r := range boxes[1:] {
+		bb = geom.Union(bb, r)
+	}
+	edge := math.Max(bb.Width(), bb.Height())
+	cell := edge / math.Ceil(math.Sqrt(float64(len(boxes))))
+	if !(cell > 0) {
+		return 1
+	}
+	return cell
+}
+
+func (x *Index) cellIdx(v float64) int32 {
+	return int32(math.Floor(v / x.cell))
+}
+
+// Len returns the number of live items.
+func (x *Index) Len() int { return x.n }
+
+// Box returns the bounding box item id was inserted with.
+func (x *Index) Box(id int) geom.Rect { return x.boxes[id] }
+
+// Scans reports the cumulative number of candidate evaluations across all
+// queries.
+func (x *Index) Scans() int64 { return x.scans.Load() }
+
+// Insert files item id under bounding box r. Ids may be sparse and only
+// grow; re-inserting a live id refiles it under the new box.
+func (x *Index) Insert(id int, r geom.Rect) {
+	for len(x.spans) <= id {
+		x.spans = append(x.spans, itemSpan{})
+		x.boxes = append(x.boxes, geom.Rect{})
+	}
+	if x.spans[id].live {
+		x.Delete(id)
+	}
+	x.boxes[id] = r
+	sp := itemSpan{
+		cu0: x.cellIdx(r.ULo), cu1: x.cellIdx(r.UHi),
+		cv0: x.cellIdx(r.VLo), cv1: x.cellIdx(r.VHi),
+		live: true,
+	}
+	if (int64(sp.cu1-sp.cu0)+1)*(int64(sp.cv1-sp.cv0)+1) > maxSpanCells {
+		sp.overflow = true
+		x.over = append(x.over, int32(id))
+	} else {
+		for cu := sp.cu0; cu <= sp.cu1; cu++ {
+			for cv := sp.cv0; cv <= sp.cv1; cv++ {
+				k := cellKey{cu, cv}
+				x.cells[k] = append(x.cells[k], int32(id))
+			}
+		}
+		if !x.bounded {
+			x.bounded = true
+			x.gu0, x.gu1, x.gv0, x.gv1 = sp.cu0, sp.cu1, sp.cv0, sp.cv1
+		} else {
+			x.gu0 = min32(x.gu0, sp.cu0)
+			x.gu1 = max32(x.gu1, sp.cu1)
+			x.gv0 = min32(x.gv0, sp.cv0)
+			x.gv1 = max32(x.gv1, sp.cv1)
+		}
+	}
+	x.spans[id] = sp
+	x.n++
+}
+
+// Delete unfiles item id. Deleting a dead or unknown id is a no-op.
+func (x *Index) Delete(id int) {
+	if id < 0 || id >= len(x.spans) || !x.spans[id].live {
+		return
+	}
+	sp := x.spans[id]
+	if sp.overflow {
+		for k, v := range x.over {
+			if v == int32(id) {
+				last := len(x.over) - 1
+				x.over[k] = x.over[last]
+				x.over = x.over[:last]
+				break
+			}
+		}
+	} else {
+		for cu := sp.cu0; cu <= sp.cu1; cu++ {
+			for cv := sp.cv0; cv <= sp.cv1; cv++ {
+				k := cellKey{cu, cv}
+				bucket := x.cells[k]
+				for b, v := range bucket {
+					if v == int32(id) {
+						last := len(bucket) - 1
+						bucket[b] = bucket[last]
+						x.cells[k] = bucket[:last]
+						break
+					}
+				}
+			}
+		}
+	}
+	x.spans[id].live = false
+	x.n--
+}
+
+// Nearest returns the live item minimizing key(id), excluding ids for which
+// skip returns true. For the ring pruning to be exact, key(id) must be ≥ the
+// bounding-box distance DistRR(q, Box(id)) — pass the true pair distance, or
+// any distance-dominating merge key. Exact key ties break toward the
+// smallest id. ok is false when no candidate exists.
+//
+// Items spanning several cells may be evaluated more than once (the ring
+// walk does not deduplicate); key must therefore be pure, which also makes
+// Nearest safe to call from concurrent goroutines between index mutations.
+func (x *Index) Nearest(q geom.Rect, skip func(int) bool, key func(id int) float64) (best int, bestKey float64, ok bool) {
+	best, bestKey = -1, math.Inf(1)
+	var scans int64
+	consider := func(id32 int32) {
+		id := int(id32)
+		if skip != nil && skip(id) {
+			return
+		}
+		scans++
+		k := key(id)
+		if k < bestKey || (k == bestKey && id < best) {
+			best, bestKey = id, k
+		}
+	}
+	for _, id := range x.over {
+		consider(id)
+	}
+	if x.bounded {
+		qu0, qu1 := x.cellIdx(q.ULo), x.cellIdx(q.UHi)
+		qv0, qv1 := x.cellIdx(q.VLo), x.cellIdx(q.VHi)
+		visit := func(u0, u1, v0, v1 int32) {
+			u0, u1 = max32(u0, x.gu0), min32(u1, x.gu1)
+			v0, v1 = max32(v0, x.gv0), min32(v1, x.gv1)
+			for cu := u0; cu <= u1; cu++ {
+				for cv := v0; cv <= v1; cv++ {
+					for _, id := range x.cells[cellKey{cu, cv}] {
+						consider(id)
+					}
+				}
+			}
+		}
+		for r := int32(0); ; r++ {
+			// Ring r cells are ≥ (r−1)·cell away from the query box; stop
+			// once no unvisited cell can beat the best key. The bound is
+			// strict, so equal-key candidates are always visited and the
+			// smallest-id tie-break is global.
+			if best >= 0 && float64(r-1)*x.cell > bestKey {
+				break
+			}
+			if r == 0 {
+				visit(qu0, qu1, qv0, qv1)
+			} else {
+				visit(qu0-r, qu1+r, qv0-r, qv0-r)     // bottom strip
+				visit(qu0-r, qu1+r, qv1+r, qv1+r)     // top strip
+				visit(qu0-r, qu0-r, qv0-r+1, qv1+r-1) // left column
+				visit(qu1+r, qu1+r, qv0-r+1, qv1+r-1) // right column
+			}
+			if qu0-r <= x.gu0 && qu1+r >= x.gu1 && qv0-r <= x.gv0 && qv1+r >= x.gv1 {
+				break // every bucketed cell visited
+			}
+		}
+	}
+	x.scans.Add(scans)
+	if best < 0 {
+		return -1, 0, false
+	}
+	return best, bestKey, true
+}
+
+// KNearest returns up to k live item ids ordered by ascending bounding-box
+// distance to q (exact ties by ascending id), excluding skipped ids. Unlike
+// Nearest it ranks by DistRR of the stored boxes directly, which is exact
+// for rectangle items (merging segments) and a lower-bound ranking for
+// octagon regions indexed by their bounds.
+func (x *Index) KNearest(q geom.Rect, k int, skip func(int) bool) []int {
+	if k <= 0 {
+		return nil
+	}
+	type cand struct {
+		d  float64
+		id int
+	}
+	var heapC []cand // max-heap of the k best so far, worst at [0]
+	less := func(a, b cand) bool {
+		if a.d != b.d {
+			return a.d < b.d
+		}
+		return a.id < b.id
+	}
+	down := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			w := i
+			if l < len(heapC) && less(heapC[w], heapC[l]) {
+				w = l
+			}
+			if r < len(heapC) && less(heapC[w], heapC[r]) {
+				w = r
+			}
+			if w == i {
+				return
+			}
+			heapC[i], heapC[w] = heapC[w], heapC[i]
+			i = w
+		}
+	}
+	up := func() {
+		i := len(heapC) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(heapC[p], heapC[i]) {
+				return
+			}
+			heapC[i], heapC[p] = heapC[p], heapC[i]
+			i = p
+		}
+	}
+	seen := make(map[int]bool)
+	var scans int64
+	consider := func(id32 int32) {
+		id := int(id32)
+		if seen[id] || (skip != nil && skip(id)) {
+			return
+		}
+		seen[id] = true
+		scans++
+		c := cand{d: geom.DistRR(q, x.boxes[id]), id: id}
+		if len(heapC) < k {
+			heapC = append(heapC, c)
+			up()
+		} else if less(c, heapC[0]) {
+			heapC[0] = c
+			down()
+		}
+	}
+	for _, id := range x.over {
+		consider(id)
+	}
+	if x.bounded {
+		qu0, qu1 := x.cellIdx(q.ULo), x.cellIdx(q.UHi)
+		qv0, qv1 := x.cellIdx(q.VLo), x.cellIdx(q.VHi)
+		visit := func(u0, u1, v0, v1 int32) {
+			u0, u1 = max32(u0, x.gu0), min32(u1, x.gu1)
+			v0, v1 = max32(v0, x.gv0), min32(v1, x.gv1)
+			for cu := u0; cu <= u1; cu++ {
+				for cv := v0; cv <= v1; cv++ {
+					for _, id := range x.cells[cellKey{cu, cv}] {
+						consider(id)
+					}
+				}
+			}
+		}
+		for r := int32(0); ; r++ {
+			if len(heapC) == k && float64(r-1)*x.cell > heapC[0].d {
+				break
+			}
+			if r == 0 {
+				visit(qu0, qu1, qv0, qv1)
+			} else {
+				visit(qu0-r, qu1+r, qv0-r, qv0-r)
+				visit(qu0-r, qu1+r, qv1+r, qv1+r)
+				visit(qu0-r, qu0-r, qv0-r+1, qv1+r-1)
+				visit(qu1+r, qu1+r, qv0-r+1, qv1+r-1)
+			}
+			if qu0-r <= x.gu0 && qu1+r >= x.gu1 && qv0-r <= x.gv0 && qv1+r >= x.gv1 {
+				break
+			}
+		}
+	}
+	x.scans.Add(scans)
+	// Heap-sort ascending.
+	out := make([]int, len(heapC))
+	for i := len(heapC) - 1; i >= 0; i-- {
+		out[i] = heapC[0].id
+		last := len(heapC) - 1
+		heapC[0] = heapC[last]
+		heapC = heapC[:last]
+		down()
+	}
+	return out
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,208 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// randRect returns a small random rectangle in uv-space.
+func randRect(r *rand.Rand, span, ext float64) geom.Rect {
+	u := r.Float64() * span
+	v := r.Float64() * span
+	return geom.Rect{ULo: u, UHi: u + r.Float64()*ext, VLo: v, VHi: v + r.Float64()*ext}
+}
+
+// bruteNearest is the oracle: linear scan over live boxes by DistRR.
+func bruteNearest(boxes []geom.Rect, live []bool, q geom.Rect, skip func(int) bool) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for j, alive := range live {
+		if !alive || (skip != nil && skip(j)) {
+			continue
+		}
+		d := geom.DistRR(q, boxes[j])
+		if d < bestD || (d == bestD && j < best) {
+			best, bestD = j, d
+		}
+	}
+	return best, bestD
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 300
+	boxes := make([]geom.Rect, n)
+	live := make([]bool, n)
+	x := New(40) // span 1000 / ~25 cells
+	for i := range boxes {
+		boxes[i] = randRect(r, 1000, 30)
+		live[i] = true
+		x.Insert(i, boxes[i])
+	}
+	check := func() {
+		for i := range boxes {
+			if !live[i] {
+				continue
+			}
+			skip := func(j int) bool { return j == i }
+			wantJ, wantD := bruteNearest(boxes, live, boxes[i], skip)
+			gotJ, gotD, ok := x.Nearest(boxes[i], skip, func(j int) float64 {
+				return geom.DistRR(boxes[i], boxes[j])
+			})
+			if wantJ < 0 {
+				if ok {
+					t.Fatalf("item %d: got %d, want none", i, gotJ)
+				}
+				continue
+			}
+			if !ok || gotJ != wantJ || gotD != wantD {
+				t.Fatalf("item %d: got (%d, %v), want (%d, %v)", i, gotJ, gotD, wantJ, wantD)
+			}
+		}
+	}
+	check()
+	// Interleave deletes and re-inserts, re-checking invariants.
+	for round := 0; round < 3; round++ {
+		for k := 0; k < n/4; k++ {
+			i := r.Intn(n)
+			if live[i] {
+				x.Delete(i)
+				live[i] = false
+			}
+		}
+		for k := 0; k < n/8; k++ {
+			i := r.Intn(n)
+			if !live[i] {
+				boxes[i] = randRect(r, 1000, 30)
+				x.Insert(i, boxes[i])
+				live[i] = true
+			}
+		}
+		check()
+	}
+}
+
+func TestNearestOverflowItems(t *testing.T) {
+	// Items far larger than maxSpanCells cells must still be found exactly.
+	x := New(10)
+	boxes := []geom.Rect{
+		{ULo: 0, UHi: 5000, VLo: 0, VHi: 5000}, // oversized → overflow list
+		{ULo: 6000, UHi: 6001, VLo: 0, VHi: 1},
+		{ULo: 9000, UHi: 9001, VLo: 0, VHi: 1},
+	}
+	for i, b := range boxes {
+		x.Insert(i, b)
+	}
+	for i := range boxes {
+		skip := func(j int) bool { return j == i }
+		live := []bool{true, true, true}
+		wantJ, wantD := bruteNearest(boxes, live, boxes[i], skip)
+		gotJ, gotD, ok := x.Nearest(boxes[i], skip, func(j int) float64 {
+			return geom.DistRR(boxes[i], boxes[j])
+		})
+		if !ok || gotJ != wantJ || gotD != wantD {
+			t.Fatalf("item %d: got (%d, %v, %v), want (%d, %v)", i, gotJ, gotD, ok, wantJ, wantD)
+		}
+	}
+	// Deleting an overflow item removes it from consideration.
+	x.Delete(0)
+	gotJ, _, ok := x.Nearest(boxes[1], func(j int) bool { return j == 1 }, func(j int) float64 {
+		return geom.DistRR(boxes[1], boxes[j])
+	})
+	if !ok || gotJ != 2 {
+		t.Fatalf("after delete: got (%d, %v), want item 2", gotJ, ok)
+	}
+}
+
+func TestKNearestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const n = 200
+	boxes := make([]geom.Rect, n)
+	x := New(50)
+	for i := range boxes {
+		boxes[i] = randRect(r, 1000, 20)
+		x.Insert(i, boxes[i])
+	}
+	for _, k := range []int{1, 3, 8, n + 5} {
+		for trial := 0; trial < 20; trial++ {
+			q := randRect(r, 1000, 20)
+			got := x.KNearest(q, k, nil)
+			// Oracle: sort all by (dist, id), take k.
+			type cand struct {
+				d  float64
+				id int
+			}
+			all := make([]cand, n)
+			for i := range boxes {
+				all[i] = cand{d: geom.DistRR(q, boxes[i]), id: i}
+			}
+			for a := 1; a < len(all); a++ { // insertion sort (stable, simple)
+				for b := a; b > 0 && (all[b].d < all[b-1].d || (all[b].d == all[b-1].d && all[b].id < all[b-1].id)); b-- {
+					all[b], all[b-1] = all[b-1], all[b]
+				}
+			}
+			want := k
+			if want > n {
+				want = n
+			}
+			if len(got) != want {
+				t.Fatalf("k=%d: got %d results, want %d", k, len(got), want)
+			}
+			for i := range got {
+				if got[i] != all[i].id {
+					t.Fatalf("k=%d trial %d: result[%d] = %d, want %d", k, trial, i, got[i], all[i].id)
+				}
+			}
+		}
+	}
+}
+
+func TestAutoCell(t *testing.T) {
+	if c := AutoCell(nil); c != 1 {
+		t.Errorf("AutoCell(nil) = %v, want 1", c)
+	}
+	pt := geom.RectFromPoint(geom.Point{X: 3, Y: 4})
+	if c := AutoCell([]geom.Rect{pt}); c != 1 {
+		t.Errorf("AutoCell(point) = %v, want 1", c)
+	}
+	boxes := []geom.Rect{
+		{ULo: 0, UHi: 0, VLo: 0, VHi: 0},
+		{ULo: 100, UHi: 100, VLo: 100, VHi: 100},
+		{ULo: 50, UHi: 50, VLo: 20, VHi: 20},
+		{ULo: 10, UHi: 10, VLo: 90, VHi: 90},
+	}
+	c := AutoCell(boxes)
+	if c <= 0 || c > 100 {
+		t.Errorf("AutoCell = %v, want in (0, 100]", c)
+	}
+}
+
+func TestInsertDeleteBookkeeping(t *testing.T) {
+	x := New(10)
+	x.Insert(0, geom.Rect{ULo: 0, UHi: 1, VLo: 0, VHi: 1})
+	x.Insert(5, geom.Rect{ULo: 20, UHi: 21, VLo: 0, VHi: 1}) // sparse id
+	if x.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", x.Len())
+	}
+	x.Delete(3) // unknown id: no-op
+	x.Delete(0)
+	x.Delete(0) // double delete: no-op
+	if x.Len() != 1 {
+		t.Fatalf("Len after deletes = %d, want 1", x.Len())
+	}
+	// Re-insert with a new box refiles.
+	x.Insert(5, geom.Rect{ULo: 500, UHi: 501, VLo: 500, VHi: 501})
+	if x.Len() != 1 {
+		t.Fatalf("Len after refile = %d, want 1", x.Len())
+	}
+	j, _, ok := x.Nearest(geom.Rect{ULo: 499, UHi: 499, VLo: 499, VHi: 499}, nil,
+		func(id int) float64 { return geom.DistRR(x.Box(id), geom.Rect{ULo: 499, UHi: 499, VLo: 499, VHi: 499}) })
+	if !ok || j != 5 {
+		t.Fatalf("Nearest after refile = (%d, %v), want 5", j, ok)
+	}
+	if x.Scans() <= 0 {
+		t.Error("Scans not counted")
+	}
+}
