@@ -205,13 +205,14 @@ func BenchmarkOrderScaling(b *testing.B) {
 			if dist == "uniform" {
 				in = bench.Small(n, 9)
 			} else {
-				in = bench.PowerLaw(n, 32, 1.5, 9)
+				in = bench.PowerLaw(n, bench.PowerLawClusters, bench.PowerLawAlpha, 9)
 			}
 			for _, pc := range []struct {
 				name string
 				mode core.PairerMode
 			}{{"scan", core.PairerScan}, {"grid", core.PairerGrid}} {
 				b.Run(fmt.Sprintf("%s/n=%d/pairer=%s", dist, n, pc.name), func(b *testing.B) {
+					b.ReportAllocs()
 					var res *core.Result
 					var err error
 					for i := 0; i < b.N; i++ {

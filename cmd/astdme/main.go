@@ -19,23 +19,31 @@ import (
 	"repro/internal/ctree"
 	"repro/internal/eval"
 	"repro/internal/instio"
+	"repro/internal/profutil"
 	"repro/internal/stitch"
 	"repro/internal/svgplot"
 )
 
 func main() {
 	var (
-		inPath  = flag.String("in", "", "instance JSON file (required)")
-		algo    = flag.String("algo", "ast", "algorithm: ast | extbst | zst | stitch")
-		bound   = flag.Float64("bound", 10, "skew bound in ps (extbst: global; ast: intra-group)")
-		svgPath = flag.String("svg", "", "write an SVG rendering of the embedded tree")
-		regions = flag.Bool("regions", false, "draw merging regions in the SVG")
+		inPath     = flag.String("in", "", "instance JSON file (required)")
+		algo       = flag.String("algo", "ast", "algorithm: ast | extbst | zst | stitch")
+		bound      = flag.Float64("bound", 10, "skew bound in ps (extbst: global; ast: intra-group)")
+		svgPath    = flag.String("svg", "", "write an SVG rendering of the embedded tree")
+		regions    = flag.Bool("regions", false, "draw merging regions in the SVG")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 	if *inPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	in, err := instio.LoadInstance(*inPath)
 	if err != nil {
 		fatal(err)

@@ -9,8 +9,10 @@
 //
 // The table modes accept -circuit (r1..r5, default r1) and write CSV to
 // stdout. The scale mode routes zero-skew instances of increasing size
-// (-sizes, -dist, -pairer) and emits a JSON series suitable for tracking the
-// scaling trajectory in BENCH_*.json files across PRs.
+// (-sizes, -dist, -pairer; or -suite for the full LargeSuite, uniform and
+// power-law) and emits a JSON series suitable for tracking the scaling
+// trajectory in BENCH_*.json files across PRs. All modes accept
+// -cpuprofile/-memprofile for pprof output.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"repro/internal/ctree"
 	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/profutil"
 )
 
 // scalePoint is one measurement of the -mode scale series.
@@ -40,14 +43,41 @@ type scalePoint struct {
 	SkewPs     float64 `json:"skew_ps"`
 }
 
-func runScale(sizes string, dist string, pairers string, seed int64) {
-	var ns []int
-	for _, f := range strings.Split(sizes, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n < 2 {
-			fatal(fmt.Errorf("bad -sizes entry %q", f))
+// scaleInstance is one (instance, placement label) pair of the scale series.
+type scaleInstance struct {
+	in   *ctree.Instance
+	dist string
+}
+
+func runScale(sizes string, dist string, pairers string, seed int64, suite bool) {
+	var insts []scaleInstance
+	if suite {
+		// The longitudinal series: every LargeSuite circuit, uniform and
+		// power-law, under its spec-pinned seed.
+		for _, sp := range bench.LargeSuite() {
+			d := sp.Dist
+			if d == "" {
+				d = "uniform"
+			}
+			insts = append(insts, scaleInstance{in: bench.Generate(sp), dist: d})
 		}
-		ns = append(ns, n)
+	} else {
+		for _, f := range strings.Split(sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 2 {
+				fatal(fmt.Errorf("bad -sizes entry %q", f))
+			}
+			var in *ctree.Instance
+			switch dist {
+			case "uniform":
+				in = bench.Small(n, seed)
+			case "powerlaw":
+				in = bench.PowerLaw(n, bench.PowerLawClusters, bench.PowerLawAlpha, seed)
+			default:
+				fatal(fmt.Errorf("bad -dist %q (want uniform | powerlaw)", dist))
+			}
+			insts = append(insts, scaleInstance{in: in, dist: dist})
+		}
 	}
 	modes := map[string]core.PairerMode{
 		"auto": core.PairerAuto, "scan": core.PairerScan, "grid": core.PairerGrid,
@@ -62,16 +92,8 @@ func runScale(sizes string, dist string, pairers string, seed int64) {
 		runs = []string{pairers}
 	}
 	var series []scalePoint
-	for _, n := range ns {
-		var in *ctree.Instance
-		switch dist {
-		case "uniform":
-			in = bench.Small(n, seed)
-		case "powerlaw":
-			in = bench.PowerLaw(n, 32, 1.5, seed)
-		default:
-			fatal(fmt.Errorf("bad -dist %q (want uniform | powerlaw)", dist))
-		}
+	for _, si := range insts {
+		in := si.in
 		for _, pm := range runs {
 			start := time.Now()
 			res, err := core.ZST(in, core.Options{Pairer: modes[pm]})
@@ -81,12 +103,12 @@ func runScale(sizes string, dist string, pairers string, seed int64) {
 			elapsed := time.Since(start).Seconds()
 			rep := eval.Analyze(res.Root, in, core.DefaultModel(), in.Source)
 			series = append(series, scalePoint{
-				Sinks: n, Dist: dist, Pairer: pm,
+				Sinks: len(in.Sinks), Dist: si.dist, Pairer: pm,
 				CPUSeconds: elapsed, Wirelength: res.Wirelength,
 				PairScans: res.Stats.PairScans, SkewPs: rep.GlobalSkew,
 			})
-			fmt.Fprintf(os.Stderr, "scale: n=%d pairer=%s %.2fs wire=%.0f scans=%d\n",
-				n, pm, elapsed, res.Wirelength, res.Stats.PairScans)
+			fmt.Fprintf(os.Stderr, "scale: n=%d dist=%s pairer=%s %.2fs wire=%.0f scans=%d\n",
+				len(in.Sinks), si.dist, pm, elapsed, res.Wirelength, res.Stats.PairScans)
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -98,17 +120,26 @@ func runScale(sizes string, dist string, pairers string, seed int64) {
 
 func main() {
 	var (
-		mode    = flag.String("mode", "groups", "bound | groups | difficulty | offsetfloat | scale")
-		circuit = flag.String("circuit", "r1", "suite circuit (r1..r5)")
-		sizes   = flag.String("sizes", "1000,2000,5000,10000", "scale mode: comma-separated sink counts")
-		dist    = flag.String("dist", "uniform", "scale mode: sink placement (uniform | powerlaw)")
-		pairer  = flag.String("pairer", "grid", "scale mode: pairing engine (auto | scan | grid | both)")
-		seed    = flag.Int64("seed", 9, "scale mode: instance seed")
+		mode       = flag.String("mode", "groups", "bound | groups | difficulty | offsetfloat | scale")
+		circuit    = flag.String("circuit", "r1", "suite circuit (r1..r5)")
+		sizes      = flag.String("sizes", "1000,2000,5000,10000", "scale mode: comma-separated sink counts")
+		dist       = flag.String("dist", "uniform", "scale mode: sink placement (uniform | powerlaw)")
+		pairer     = flag.String("pairer", "grid", "scale mode: pairing engine (auto | scan | grid | both)")
+		seed       = flag.Int64("seed", 9, "scale mode: instance seed")
+		suite      = flag.Bool("suite", false, "scale mode: run the LargeSuite circuits (uniform + powerlaw) instead of -sizes/-dist")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
+	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
 	if *mode == "scale" {
-		runScale(*sizes, *dist, *pairer, *seed)
+		runScale(*sizes, *dist, *pairer, *seed, *suite)
 		return
 	}
 

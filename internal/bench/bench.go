@@ -34,7 +34,18 @@ type Spec struct {
 	Side float64
 	// Seed fixes the pseudo-random placement.
 	Seed int64
+	// Dist selects the sink placement: "" or "uniform" for uniform-random
+	// over the die, "powerlaw" for the clustered power-law placement
+	// (PowerLaw with the standard 32 clusters at α = 1.5).
+	Dist string
 }
+
+// Standard power-law placement parameters used by the "powerlaw" specs and
+// the scale sweeps: 32 clusters with weight c^−1.5.
+const (
+	PowerLawClusters = 32
+	PowerLawAlpha    = 1.5
+)
 
 // side returns the default die edge for n sinks: proportional to sqrt(n) so
 // that average sink density — and thus wirelength per sink — matches across
@@ -62,28 +73,33 @@ func Suite() []Spec {
 }
 
 // LargeSuite returns the large-instance scaling circuits introduced with
-// the spatial pairing subsystem: 10k, 50k and 100k sinks at the same
-// uniform density as the custom instances (die edge ∝ √n), an order of
-// magnitude and more beyond the thesis's r5. These are the instances the
-// sub-quadratic pairer exists for; the all-pairs oracle is impractical on
-// them.
+// the spatial pairing subsystem, an order of magnitude and more beyond the
+// thesis's r5: 10k, 50k and 100k sinks uniform over a √n-scaled die
+// (l10k/l50k/l100k), plus the power-law-clustered counterparts
+// (p10k/p50k/p100k) that stress the spatial grid's cell adaptation — the
+// clustered-placement gap the scale sweeps track longitudinally. These are
+// the instances the sub-quadratic pairer exists for; the all-pairs oracle
+// is impractical on them.
 func LargeSuite() []Spec {
 	return []Spec{
 		{Name: "l10k", Sinks: 10_000, Side: side(10_000), Seed: 1100},
 		{Name: "l50k", Sinks: 50_000, Side: side(50_000), Seed: 1101},
 		{Name: "l100k", Sinks: 100_000, Side: side(100_000), Seed: 1102},
+		{Name: "p10k", Sinks: 10_000, Side: side(10_000), Seed: 1100, Dist: "powerlaw"},
+		{Name: "p50k", Sinks: 50_000, Side: side(50_000), Seed: 1101, Dist: "powerlaw"},
+		{Name: "p100k", Sinks: 100_000, Side: side(100_000), Seed: 1102, Dist: "powerlaw"},
 	}
 }
 
 // BySuiteName returns the named circuit spec ("r1".."r5", or the scaling
-// instances "l10k"/"l50k"/"l100k").
+// instances l10k/l50k/l100k and p10k/p50k/p100k).
 func BySuiteName(name string) (Spec, error) {
 	for _, s := range append(Suite(), LargeSuite()...) {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("bench: unknown circuit %q (want r1..r5 or l10k/l50k/l100k)", name)
+	return Spec{}, fmt.Errorf("bench: unknown circuit %q (want r1..r5, l10k/l50k/l100k, or p10k/p50k/p100k)", name)
 }
 
 // Sink load capacitance range (fF), uniform.
@@ -92,9 +108,19 @@ const (
 	maxSinkCapFF = 50
 )
 
-// Generate materializes the circuit with a single sink group (group 0). Use
-// Clustered or Intermingled to impose a k-group structure.
+// Generate materializes the circuit with a single sink group (group 0),
+// honoring the spec's placement distribution. Use Clustered or Intermingled
+// to impose a k-group structure.
 func Generate(sp Spec) *ctree.Instance {
+	if sp.Dist == "powerlaw" {
+		edge := sp.Side
+		if !(edge > 0) {
+			edge = side(sp.Sinks)
+		}
+		in := powerLawSized(sp.Sinks, PowerLawClusters, PowerLawAlpha, sp.Seed, edge)
+		in.Name = sp.Name
+		return in
+	}
 	r := rand.New(rand.NewSource(sp.Seed))
 	in := &ctree.Instance{
 		Name:      sp.Name,
@@ -275,10 +301,15 @@ func Small(n int, seed int64) *ctree.Instance {
 // items, empty regions many empty cells). alpha = 0 degenerates to equal
 // cluster sizes; clusters = 1 to a single Gaussian blob.
 func PowerLaw(n, clusters int, alpha float64, seed int64) *ctree.Instance {
+	return powerLawSized(n, clusters, alpha, seed, side(n))
+}
+
+// powerLawSized is PowerLaw on an explicit die edge (Generate passes the
+// spec's Side so powerlaw and uniform specs compare on equal dies).
+func powerLawSized(n, clusters int, alpha float64, seed int64, s float64) *ctree.Instance {
 	if clusters < 1 {
 		clusters = 1
 	}
-	s := side(n)
 	r := rand.New(rand.NewSource(seed))
 	centers := make([]geom.Point, clusters)
 	for c := range centers {

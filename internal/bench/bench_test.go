@@ -3,6 +3,9 @@ package bench
 import (
 	"math"
 	"testing"
+
+	"repro/internal/ctree"
+	"repro/internal/geom"
 )
 
 func TestSuiteSinkCounts(t *testing.T) {
@@ -275,4 +278,57 @@ func TestLargeSuite(t *testing.T) {
 	if _, err := BySuiteName("nope"); err == nil {
 		t.Error("unknown name did not error")
 	}
+}
+
+func TestLargeSuitePowerLawSpecs(t *testing.T) {
+	for _, name := range []string{"p10k", "p50k", "p100k"} {
+		sp, err := BySuiteName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.Dist != "powerlaw" {
+			t.Errorf("%s: Dist = %q, want powerlaw", name, sp.Dist)
+		}
+	}
+	// Generate honors the spec's distribution, die edge and name.
+	sp, _ := BySuiteName("p10k")
+	sp.Sinks = 500 // shrink for test speed; placement logic is identical
+	sp.Side = side(500)
+	in := Generate(sp)
+	if in.Name != "p10k" {
+		t.Errorf("Name = %q, want p10k", in.Name)
+	}
+	if len(in.Sinks) != 500 {
+		t.Errorf("sinks = %d, want 500", len(in.Sinks))
+	}
+	for _, s := range in.Sinks {
+		if s.Loc.X < 0 || s.Loc.X > sp.Side || s.Loc.Y < 0 || s.Loc.Y > sp.Side {
+			t.Fatalf("sink %d at %v outside the spec's %v die", s.ID, s.Loc, sp.Side)
+		}
+	}
+	// A power-law placement is visibly more concentrated than uniform: on
+	// the same die, its mean nearest-sink spacing is well below uniform's.
+	uni := Generate(Spec{Name: "u", Sinks: 500, Side: sp.Side, Seed: sp.Seed})
+	if p, u := meanNNSpacing(in), meanNNSpacing(uni); !(p < 0.8*u) {
+		t.Errorf("powerlaw mean NN spacing %v not below uniform %v", p, u)
+	}
+}
+
+// meanNNSpacing is the average L1 distance of each sink to its nearest
+// neighbor (O(n²); test-sized inputs only).
+func meanNNSpacing(in *ctree.Instance) float64 {
+	total := 0.0
+	for i := range in.Sinks {
+		best := math.Inf(1)
+		for j := range in.Sinks {
+			if i == j {
+				continue
+			}
+			if d := geom.Dist(in.Sinks[i].Loc, in.Sinks[j].Loc); d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total / float64(len(in.Sinks))
 }

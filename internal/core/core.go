@@ -62,6 +62,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync/atomic"
 
 	"repro/internal/ctree"
 	"repro/internal/geom"
@@ -158,6 +160,15 @@ type Options struct {
 	// merge distance, falling back to the least-violation compromise
 	// (default 8).
 	SneakCostCap float64
+	// MergeWorkers is the number of goroutines executing the merge bodies of
+	// each round's disjoint batch (window intersection, joint resolution,
+	// delay evaluation, node construction). 0 (the default) selects
+	// GOMAXPROCS; 1 forces fully serial execution. Any setting produces
+	// bitwise-identical trees: batches are scheduled so concurrently
+	// executed merges cannot observe each other's group-offset commitments,
+	// and results are committed serially in batch order (see
+	// builder.runBatch).
+	MergeWorkers int
 }
 
 // PairConstraint bounds the signed inter-group skew delay(J) − delay(I)
@@ -199,6 +210,21 @@ type Stats struct {
 	// reconcile conflicting windows; the residual intra-group skew is then
 	// observable via package eval.
 	SneakUnresolved int
+}
+
+// add accumulates a worker's per-merge stat deltas. PairScans is excluded:
+// it is recorded once per run from the order queue, not by merge bodies.
+func (s *Stats) add(d Stats) {
+	s.Merges += d.Merges
+	s.SameGroup += d.SameGroup
+	s.CrossGroup += d.CrossGroup
+	s.Shared += d.Shared
+	s.Deferred += d.Deferred
+	s.GroupUnions += d.GroupUnions
+	s.MergeSnakes += d.MergeSnakes
+	s.SneakEvents += d.SneakEvents
+	s.SneakWire += d.SneakWire
+	s.SneakUnresolved += d.SneakUnresolved
 }
 
 // Result is a completed routing.
@@ -264,6 +290,7 @@ func Build(in *ctree.Instance, opt Options) (*Result, error) {
 	}
 
 	b := &builder{opt: opt, in: in, uf: newGroupUF(in.NumGroups)}
+	b.initScratch()
 	if opt.GroupOffsets != nil {
 		// Pre-register all offsets relative to group 0: every subsequent
 		// merge of related subtrees enforces the prescribed targets through
@@ -310,6 +337,17 @@ func EXTBST(in *ctree.Instance, boundPs float64, opt Options) (*Result, error) {
 type groupUF struct {
 	parent []int
 	off    []float64
+	// journal, when non-nil, records every union instead of only applying
+	// it: parallel merge workers operate on private clones and their
+	// recorded unions are replayed onto the shared registry at the serial
+	// commit (see runBatch).
+	journal *[]unionRec
+}
+
+// unionRec is one recorded union for deferred replay.
+type unionRec struct {
+	ra, rb int
+	rel    float64
 }
 
 func newGroupUF(n int) *groupUF {
@@ -318,6 +356,13 @@ func newGroupUF(n int) *groupUF {
 		u.parent[i] = i
 	}
 	return u
+}
+
+// cloneInto copies u's state into dst (reusing dst's backing arrays),
+// giving a parallel merge worker a private view it may mutate.
+func (u *groupUF) cloneInto(dst *groupUF) {
+	dst.parent = append(dst.parent[:0], u.parent...)
+	dst.off = append(dst.off[:0], u.off...)
 }
 
 // find returns g's union root and the cumulative offset of g relative to it.
@@ -338,6 +383,16 @@ func (u *groupUF) find(g int) (root int, off float64) {
 func (u *groupUF) union(ra, rb int, rel float64) {
 	u.parent[rb] = ra
 	u.off[rb] = rel
+	if u.journal != nil {
+		*u.journal = append(*u.journal, unionRec{ra: ra, rb: rb, rel: rel})
+	}
+}
+
+// sneakScratch is a reusable buffer for one sneak plan.
+type sneakScratch struct {
+	handles []handle
+	gammas  []float64
+	plan    sneak
 }
 
 type builder struct {
@@ -347,6 +402,39 @@ type builder struct {
 	nodes []*ctree.Node
 	root  *ctree.Node
 	stats Stats
+
+	// arena slab-allocates the 2n−1 tree nodes; b.nodes points into it.
+	arena []ctree.Node
+
+	// Reusable scratch for the allocation-heavy merge-body helpers. Worker
+	// builders carry their own copies, so merge bodies never share scratch.
+	normA, normB   map[int]rctree.Interval // normalize outputs
+	delayA, delayB map[int]rctree.Interval // DelayAtBuf outputs (windowGap)
+	sneakA, sneakB sneakScratch            // sneak plan buffers
+	sharedBuf      []int                   // SharedGroups output (one merge)
+	unionBuf       []int                   // UnionGroups staging (one merge)
+
+	// Parallel batch execution state (main builder only).
+	workers []mergeWorker
+	tasks   []mergeTask
+	rootsIn []bool // scratch: union roots written by scheduled batch writers
+}
+
+// mergeTask is one merge of a round's disjoint batch.
+type mergeTask struct {
+	na, nb *ctree.Node
+	out    *ctree.Node // preassigned arena slot
+	wave   bool        // executable concurrently against the pre-batch registry
+	writer bool        // may register group unions (needs a private registry)
+	stats  Stats       // worker's stat delta (wave tasks)
+	unions []unionRec  // worker's recorded unions (wave writer tasks)
+}
+
+// mergeWorker is the per-goroutine execution state of parallel batches: a
+// builder clone with private scratch plus a reusable registry snapshot.
+type mergeWorker struct {
+	wb builder
+	uf groupUF // private clone target for writer tasks
 }
 
 // boundOf returns the intra-group skew bound used for routing.
@@ -369,20 +457,31 @@ func (b *builder) interBound() float64 {
 	return b.opt.InterSkewBound
 }
 
-// normalize aggregates a raw per-group delay map into per-union-root
-// intervals on the registry's normalized (offset-corrected) scale.
-func (b *builder) normalize(delay map[int]rctree.Interval) map[int]rctree.Interval {
-	out := make(map[int]rctree.Interval, len(delay))
+// initScratch sizes the builder's reusable merge-body buffers.
+func (b *builder) initScratch() {
+	g := b.in.NumGroups
+	b.normA = make(map[int]rctree.Interval, g)
+	b.normB = make(map[int]rctree.Interval, g)
+	b.delayA = make(map[int]rctree.Interval, g)
+	b.delayB = make(map[int]rctree.Interval, g)
+}
+
+// normalizeInto aggregates a raw per-group delay map into per-union-root
+// intervals on the registry's normalized (offset-corrected) scale, written
+// into dst (cleared first). dst is one of the builder's scratch maps; the
+// result is valid until that map's next reuse.
+func (b *builder) normalizeInto(dst, delay map[int]rctree.Interval) map[int]rctree.Interval {
+	clear(dst)
 	for g, iv := range delay {
 		r, off := b.uf.find(g)
 		niv := iv.Shift(-off)
-		if prev, ok := out[r]; ok {
-			out[r] = rctree.Cover(prev, niv)
+		if prev, ok := dst[r]; ok {
+			dst[r] = rctree.Cover(prev, niv)
 		} else {
-			out[r] = niv
+			dst[r] = niv
 		}
 	}
-	return out
+	return dst
 }
 
 // constraint identifies one hard window of a merge.
@@ -405,8 +504,12 @@ type constraint struct {
 //     values (the thesis's "bounded range" implied by its merging regions),
 //     which keeps independently built subtrees consistent without freezing
 //     the offsets outright.
+//
+// normalized reports whether the union-root pass ran, i.e. b.normA/b.normB
+// now hold the normalized forms of da/db — windowGap reuses them for its
+// misalignment term instead of normalizing the same inputs again.
 func (b *builder) forConstraints(da, db map[int]rctree.Interval, shared []int,
-	f func(c constraint, ia, ib rctree.Interval, bound float64)) {
+	f func(c constraint, ia, ib rctree.Interval, bound float64)) (normalized bool) {
 	bd := b.boundOf()
 	for _, g := range shared {
 		f(constraint{raw: true, id: g}, da[g], db[g], bd)
@@ -437,36 +540,75 @@ func (b *builder) forConstraints(da, db map[int]rctree.Interval, shared []int,
 
 	w := b.interBound()
 	if math.IsInf(w, 1) {
-		return
+		return false
 	}
-	na := b.normalize(da)
-	nb := b.normalize(db)
+	na := b.normalizeInto(b.normA, da)
+	nb := b.normalizeInto(b.normB, db)
 	for r, ia := range na {
 		if ib, ok := nb[r]; ok {
 			f(constraint{raw: false, id: r}, ia, ib, bd+w)
 		}
 	}
+	return true
+}
+
+// initNodes allocates the node arena and initializes the leaf nodes.
+func (b *builder) initNodes() {
+	n := len(b.in.Sinks)
+	b.arena = make([]ctree.Node, 2*n-1)
+	b.nodes = make([]*ctree.Node, 0, 2*n-1)
+	// Leaves of one group are identical in Groups and Delay ({g: [0,0]}),
+	// and node Group slices / Delay maps are never mutated in place (all
+	// paths build replacements), so the leaves share interned instances —
+	// on large single-group (ZST) runs this removes two allocations per
+	// sink.
+	groupsIntern := make([][]int, b.in.NumGroups)
+	delayIntern := make([]map[int]rctree.Interval, b.in.NumGroups)
+	leafGroup := func(s *ctree.Sink) int {
+		if b.opt.SingleGroup {
+			return 0
+		}
+		return s.Group
+	}
+	for i := range b.in.Sinks {
+		s := &b.in.Sinks[i]
+		g := leafGroup(s)
+		if groupsIntern[g] == nil {
+			groupsIntern[g] = []int{g}
+			delayIntern[g] = map[int]rctree.Interval{g: rctree.PointInterval(0)}
+		}
+		leaf := &b.arena[i]
+		*leaf = ctree.Node{
+			ID:     s.ID,
+			Sink:   s,
+			Region: geom.RectFromPoint(s.Loc),
+			Cap:    s.CapFF,
+			Groups: groupsIntern[g],
+			Delay:  delayIntern[g],
+		}
+		b.nodes = append(b.nodes, leaf)
+	}
 }
 
 func (b *builder) run() {
 	n := len(b.in.Sinks)
-	b.nodes = make([]*ctree.Node, 0, 2*n-1)
-	for i := range b.in.Sinks {
-		s := &b.in.Sinks[i]
-		leaf := ctree.NewLeaf(s)
-		if b.opt.SingleGroup {
-			leaf.Groups = []int{0}
-			leaf.Delay = map[int]rctree.Interval{0: rctree.PointInterval(0)}
-		}
-		b.nodes = append(b.nodes, leaf)
-	}
+	b.initNodes()
 	if n == 1 {
 		b.root = b.nodes[0]
 		return
 	}
 
 	dist := func(i, j int) float64 {
-		return geom.DistOO(b.nodes[i].ActiveRegion(), b.nodes[j].ActiveRegion())
+		na, nb := b.nodes[i], b.nodes[j]
+		if !na.Deferred && !nb.Deferred {
+			// Committed regions are rectangles; their octagon lift has
+			// redundant diagonal bounds (each diagonal gap is at most the
+			// larger axis gap), so DistOO reduces to the much cheaper
+			// rectangle distance. This is the hot call of every pairing
+			// scan, and in zero-skew runs no node is ever deferred.
+			return geom.DistRR(na.Region, nb.Region)
+		}
+		return geom.DistOO(na.ActiveRegion(), nb.ActiveRegion())
 	}
 	ocfg := b.opt.Order
 	userKey := ocfg.Key != nil
@@ -494,18 +636,15 @@ func (b *builder) run() {
 		for i := range boxes {
 			boxes[i] = box(i)
 		}
-		ocfg.Pairer = spatial.NewGridPairer(spatial.AutoCell(boxes), box, dist, ocfg.Key)
+		ocfg.Pairer = spatial.NewGridPairerFor(boxes, box, dist, ocfg.Key)
 	}
 	q := order.New(ocfg, n, dist)
 	for {
-		i, j, ok := q.Next()
-		if !ok {
+		batch := q.NextBatch()
+		if len(batch) == 0 {
 			break
 		}
-		c := b.merge(b.nodes[i], b.nodes[j])
-		c.ID = len(b.nodes)
-		b.nodes = append(b.nodes, c)
-		q.Merged(c.ID)
+		b.runBatch(q, batch)
 	}
 	b.stats.PairScans = q.Scans()
 	b.root = b.nodes[len(b.nodes)-1]
@@ -514,6 +653,177 @@ func (b *builder) run() {
 		q, _ := geom.ClosestPoints(b.root.DefRegion, src)
 		b.resolve(b.root, geom.DistRP(b.root.Left.Region, q))
 	}
+}
+
+// minParallelBatch is the batch size below which runBatch stays serial: the
+// scheduling pass and goroutine fan-out cost more than a handful of merge
+// bodies.
+const minParallelBatch = 8
+
+// mergeWorkerCount resolves Options.MergeWorkers.
+func (b *builder) mergeWorkerCount() int {
+	if b.opt.MergeWorkers > 0 {
+		return b.opt.MergeWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runBatch executes one round's disjoint merge batch and registers the
+// results with the queue in batch order. Small batches (or MergeWorkers=1)
+// run serially; larger ones fan the merge bodies out across workers and
+// commit serially, which is bitwise-identical to the serial execution:
+//
+//   - The pairs of a batch share no subtree, so merge bodies only interact
+//     through the group-offset registry (builder.uf).
+//   - A scheduling pass walks the batch in order tracking, conservatively,
+//     the set of union roots each merge may commit (a merge spanning ≥ 2
+//     distinct roots may union them). A merge whose root set intersects a
+//     prior writer's is deferred to the serial commit phase, where it runs
+//     against the live registry exactly as the serial order would.
+//   - Every other merge joins the parallel wave. Non-writers read the
+//     shared registry (frozen during the wave); writers run on a private
+//     clone, journaling their unions. Since no prior batch writer touched
+//     their roots, the clone view equals the serial view over everything
+//     the merge can read.
+//   - The commit phase walks the batch in order: wave results adopt their
+//     stat deltas and replay their journaled unions; deferred merges
+//     execute serially in place. Node ids, queue registration and spatial
+//     re-indexing all happen here, in batch order.
+//
+// Single-group runs (ZST, EXT-BST) and prescribed-offset runs have one
+// union root for every merge, so the whole batch always waves.
+func (b *builder) runBatch(q *order.Queue, batch []order.Pair) {
+	base := len(b.nodes)
+	if workers := b.mergeWorkerCount(); workers > 1 && len(batch) >= minParallelBatch {
+		b.mergeBatchParallel(batch, base, workers)
+	} else {
+		for k, p := range batch {
+			b.merge(b.nodes[p.I], b.nodes[p.J], &b.arena[base+k])
+		}
+	}
+	for k := range batch {
+		c := &b.arena[base+k]
+		c.ID = base + k
+		b.nodes = append(b.nodes, c)
+		q.Merged(c.ID)
+	}
+}
+
+// mergeBatchParallel is runBatch's parallel wave + serial commit (see the
+// runBatch comment for the invariants).
+func (b *builder) mergeBatchParallel(batch []order.Pair, base, workers int) {
+	// Scheduling pass: conservative registry-conflict analysis in batch
+	// order, against the pre-batch registry (b.uf is not mutated here).
+	multiRoot := !b.opt.SingleGroup && b.in.NumGroups > 1 && b.opt.GroupOffsets == nil
+	if b.rootsIn == nil && multiRoot {
+		b.rootsIn = make([]bool, b.in.NumGroups)
+	}
+	tasks := b.tasks[:0]
+	for k, p := range batch {
+		t := mergeTask{na: b.nodes[p.I], nb: b.nodes[p.J], out: &b.arena[base+k], wave: true}
+		if multiRoot {
+			t.wave, t.writer = b.scheduleTask(t.na, t.nb)
+		}
+		tasks = append(tasks, t)
+	}
+	b.tasks = tasks
+	if multiRoot {
+		// Reset the written-roots scratch for the next batch.
+		for i := range b.rootsIn {
+			b.rootsIn[i] = false
+		}
+	}
+
+	// Parallel wave over contiguous chunks; chunk w handles tasks[lo:hi].
+	if b.workers == nil {
+		b.workers = make([]mergeWorker, 0, workers)
+	}
+	for len(b.workers) < workers {
+		w := mergeWorker{wb: builder{opt: b.opt, in: b.in}}
+		w.wb.initScratch()
+		b.workers = append(b.workers, w)
+	}
+	var next atomic.Int32
+	order.ParallelChunksN(len(tasks), workers, 1, func(lo, hi int) {
+		// ParallelChunksN launches at most `workers` chunks; the counter
+		// keys each chunk to a private worker without assuming launch order.
+		w := &b.workers[next.Add(1)-1]
+		for k := lo; k < hi; k++ {
+			t := &tasks[k]
+			if !t.wave {
+				continue
+			}
+			w.wb.stats = Stats{}
+			if t.writer {
+				b.uf.cloneInto(&w.uf)
+				t.unions = t.unions[:0]
+				w.uf.journal = &t.unions
+				w.wb.uf = &w.uf
+			} else {
+				w.wb.uf = b.uf // read-only during the wave
+			}
+			w.wb.merge(t.na, t.nb, t.out)
+			t.stats = w.wb.stats
+		}
+	})
+
+	// Serial commit in batch order.
+	for k := range tasks {
+		t := &tasks[k]
+		if t.wave {
+			b.stats.add(t.stats)
+			for _, u := range t.unions {
+				// Replay raw: the recorded roots are untouched by every
+				// other merge of this batch (scheduling invariant).
+				b.uf.parent[u.rb] = u.ra
+				b.uf.off[u.rb] = u.rel
+			}
+		} else {
+			b.merge(t.na, t.nb, t.out)
+		}
+	}
+}
+
+// scheduleTask classifies one batch merge against the written-roots scratch:
+// reports whether it can run in the parallel wave and whether it may write
+// the registry. Must be called in batch order.
+func (b *builder) scheduleTask(na, nb *ctree.Node) (wave, writer bool) {
+	// Collect the distinct union roots of both subtrees' groups.
+	var roots [16]int
+	rs := roots[:0]
+	addRoots := func(gs []int) {
+		for _, g := range gs {
+			r, _ := b.uf.find(g)
+			dup := false
+			for _, have := range rs {
+				if have == r {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				rs = append(rs, r)
+			}
+		}
+	}
+	addRoots(na.Groups)
+	addRoots(nb.Groups)
+	writer = len(rs) >= 2
+	conflict := false
+	for _, r := range rs {
+		if b.rootsIn[r] {
+			conflict = true
+			break
+		}
+	}
+	if conflict || writer {
+		// Tail tasks are treated as writers too: they run against the live
+		// registry and may commit unions among these roots.
+		for _, r := range rs {
+			b.rootsIn[r] = true
+		}
+	}
+	return !conflict, writer
 }
 
 // resolve pins a deferred node and registers the group-offset commitments it
@@ -530,11 +840,9 @@ func (b *builder) resolve(n *ctree.Node, e float64) {
 // groups, the first-seen relative offsets between previously unrelated
 // groups (thesis Ch. V.E.1: the involved groups form a new merged group).
 func (b *builder) registerOffsets(n *ctree.Node) {
-	type ref struct {
-		root int
-		norm float64
-	}
-	var first *ref
+	var haveFirst bool
+	var firstRoot int
+	var firstNorm float64
 	for _, g := range n.Groups { // sorted: keeps runs deterministic
 		iv, ok := n.Delay[g]
 		if !ok {
@@ -542,14 +850,14 @@ func (b *builder) registerOffsets(n *ctree.Node) {
 		}
 		r, off := b.uf.find(g)
 		norm := (iv.Lo+iv.Hi)/2 - off
-		if first == nil {
-			first = &ref{root: r, norm: norm}
+		if !haveFirst {
+			haveFirst, firstRoot, firstNorm = true, r, norm
 			continue
 		}
-		if r == first.root {
+		if r == firstRoot {
 			continue
 		}
-		b.uf.union(first.root, r, norm-first.norm)
+		b.uf.union(firstRoot, r, norm-firstNorm)
 		b.stats.GroupUnions++
 	}
 }
@@ -610,11 +918,13 @@ func (b *builder) mergeKey(i, j int, d float64) float64 {
 }
 
 // merge performs one AST-DME merge of subtrees a and b (thesis Fig. 6,
-// steps 4–7) and returns the new subtree root.
-func (b *builder) merge(na, nb *ctree.Node) *ctree.Node {
+// steps 4–7), constructing the new subtree root in c (a preassigned arena
+// slot; c.ID is set by the caller at commit).
+func (b *builder) merge(na, nb *ctree.Node, c *ctree.Node) {
 	m := b.opt.Model
 	bound := b.boundOf()
-	shared := ctree.SharedGroups(na.Groups, nb.Groups)
+	b.sharedBuf = ctree.AppendSharedGroups(b.sharedBuf[:0], na.Groups, nb.Groups)
+	shared := b.sharedBuf
 	b.stats.Merges++
 	switch {
 	case len(shared) == 0:
@@ -647,10 +957,10 @@ func (b *builder) merge(na, nb *ctree.Node) *ctree.Node {
 	xLo, xHi, compromised := b.intersectWindows(na, nb, shared)
 
 	d := geom.DistRR(na.Region, nb.Region)
-	c := &ctree.Node{
+	*c = ctree.Node{
 		Left: na, Right: nb,
 		Cap:    na.Cap + nb.Cap,
-		Groups: ctree.UnionGroups(na.Groups, nb.Groups),
+		Groups: b.unionGroups(na, nb),
 	}
 
 	eLo, eHi, snaked := b.splitWindow(na, nb, d, xLo, xHi, compromised)
@@ -692,10 +1002,26 @@ func (b *builder) merge(na, nb *ctree.Node) *ctree.Node {
 		}
 		b.registerOffsets(c)
 	}
-	return c
 }
 
 func mid(lo, hi float64) float64 { return (lo + hi) / 2 }
+
+// unionGroups returns the sorted union of the children's group sets,
+// sharing the child's slice when one side covers the other (always, in
+// single-group runs) — group slices are never mutated in place, so sharing
+// is safe and saves an allocation on the vast majority of merges.
+func (b *builder) unionGroups(na, nb *ctree.Node) []int {
+	b.unionBuf = ctree.AppendUnionGroups(b.unionBuf[:0], na.Groups, nb.Groups)
+	u := b.unionBuf
+	switch {
+	case len(u) == len(na.Groups):
+		return na.Groups // union ⊇ a and same length ⇒ equal
+	case len(u) == len(nb.Groups):
+		return nb.Groups
+	default:
+		return append([]int(nil), u...)
+	}
+}
 
 // windowGap evaluates candidate splits (ea, eb) of the two nodes against the
 // upcoming merge. It returns the infeasibility gap (ps) of the intersected
@@ -704,10 +1030,10 @@ func mid(lo, hi float64) float64 { return (lo + hi) / 2 }
 // reach the window, minus a small preference for wide residual windows.
 func (b *builder) windowGap(na, nb *ctree.Node, shared []int, bound, ea, eb float64) (gap, cost, misalign float64) {
 	m := b.opt.Model
-	da := na.DelayAt(m, ea)
-	db := nb.DelayAt(m, eb)
+	da := na.DelayAtBuf(m, ea, b.delayA)
+	db := nb.DelayAtBuf(m, eb, b.delayB)
 	xLo, xHi := math.Inf(-1), math.Inf(1)
-	b.forConstraints(da, db, shared, func(_ constraint, ia, ib rctree.Interval, bd float64) {
+	normalized := b.forConstraints(da, db, shared, func(_ constraint, ia, ib rctree.Interval, bd float64) {
 		if lo := ib.Hi - ia.Lo - bd; lo > xLo {
 			xLo = lo
 		}
@@ -725,8 +1051,13 @@ func (b *builder) windowGap(na, nb *ctree.Node, shared []int, bound, ea, eb floa
 	// spread of the required shifts measures that inevitable drift; small
 	// spread keeps the global offset system consistent and cheap.
 	{
-		va := b.normalize(da)
-		vb := b.normalize(db)
+		// forConstraints already normalized da/db into the scratch maps
+		// when the leash is active; recompute only when it did not.
+		va, vb := b.normA, b.normB
+		if !normalized {
+			va = b.normalizeInto(b.normA, da)
+			vb = b.normalizeInto(b.normB, db)
+		}
 		lo, hi := math.Inf(1), math.Inf(-1)
 		for r, ia := range va {
 			if ib, ok := vb[r]; ok {
@@ -878,15 +1209,15 @@ type handle struct {
 	rUp float64
 }
 
-// coverHandles returns the incoming edges of the maximal pure-g subtrees of
-// n: elongating all of them by the same delay shifts the whole group
-// coherently (the generalized wire-sneaking handle of thesis Fig. 5).
-// Returns nil when n itself is pure (no interior edge covers the group).
-func coverHandles(m rctree.Model, n *ctree.Node, g int) []handle {
+// appendCoverHandles appends to dst the incoming edges of the maximal
+// pure-g subtrees of n: elongating all of them by the same delay shifts the
+// whole group coherently (the generalized wire-sneaking handle of thesis
+// Fig. 5). Appends nothing when n itself is pure (no interior edge covers
+// the group). dst is a reusable scratch buffer: callers own its lifetime.
+func appendCoverHandles(dst []handle, m rctree.Model, n *ctree.Node, g int) []handle {
 	if _, pure := n.PureGroup(); pure || n.IsLeaf() {
-		return nil
+		return dst
 	}
-	var out []handle
 	var walk func(parent *ctree.Node, rUp float64)
 	walk = func(parent *ctree.Node, rUp float64) {
 		for _, side := range []ctree.Side{ctree.SideL, ctree.SideR} {
@@ -896,7 +1227,7 @@ func coverHandles(m rctree.Model, n *ctree.Node, g int) []handle {
 				continue
 			}
 			if pg, pure := child.PureGroup(); pure && pg == g {
-				out = append(out, handle{ref: ref, rUp: rUp})
+				dst = append(dst, handle{ref: ref, rUp: rUp})
 				continue
 			}
 			if !child.IsLeaf() {
@@ -905,7 +1236,7 @@ func coverHandles(m rctree.Model, n *ctree.Node, g int) []handle {
 		}
 	}
 	walk(n, 0)
-	return out
+	return dst
 }
 
 // intersectWindows intersects the feasible X windows of all shared raw
@@ -951,8 +1282,8 @@ func (b *builder) intersectWindows(na, nb *ctree.Node, shared []int) (xLo, xHi f
 		// Close the gap: either slow constraint gHi on nb's side (raises its
 		// window ceiling) or slow gLo on na's side (lowers its floor).
 		// Pick the cheaper available cover.
-		planB := b.sneakPlan(nb, gHi, gap)
-		planA := b.sneakPlan(na, gLo, gap)
+		planB := b.sneakPlan(nb, gHi, gap, &b.sneakB)
+		planA := b.sneakPlan(na, gLo, gap, &b.sneakA)
 		plan, sub := planB, nb
 		if planB == nil || (planA != nil && planA.wire < planB.wire) {
 			plan, sub = planA, na
@@ -1003,7 +1334,9 @@ func (b *builder) currentGap(na, nb *ctree.Node, shared []int) float64 {
 }
 
 // sneak is a set of edge elongations that coherently delays one constraint's
-// sinks inside a subtree.
+// sinks inside a subtree. Its slices alias a sneakScratch buffer: a plan is
+// valid until that buffer's next reuse, which is fine because plans are
+// applied (or discarded) within the same intersectWindows iteration.
 type sneak struct {
 	handles []handle
 	gammas  []float64
@@ -1014,28 +1347,31 @@ type sneak struct {
 // governed by constraint c in subtree n, or nil when no cover exists. For a
 // raw-group constraint the cover is the group's maximal pure subtrees; for a
 // union-root leash it is the union of the covers of all member groups
-// present in n.
-func (b *builder) sneakPlan(n *ctree.Node, c constraint, delay float64) *sneak {
+// present in n. buf provides the plan's backing storage.
+func (b *builder) sneakPlan(n *ctree.Node, c constraint, delay float64, buf *sneakScratch) *sneak {
 	m := b.opt.Model
-	var hs []handle
+	hs := buf.handles[:0]
 	if c.raw {
-		hs = coverHandles(m, n, c.id)
+		hs = appendCoverHandles(hs, m, n, c.id)
 	} else {
 		for _, g := range n.Groups {
 			if r, _ := b.uf.find(g); r == c.id {
-				hs = append(hs, coverHandles(m, n, g)...)
+				hs = appendCoverHandles(hs, m, n, g)
 			}
 		}
 	}
+	buf.handles = hs
 	if len(hs) == 0 {
 		return nil
 	}
-	p := &sneak{handles: hs, gammas: make([]float64, len(hs))}
-	for i, h := range hs {
+	buf.plan = sneak{handles: hs, gammas: buf.gammas[:0]}
+	p := &buf.plan
+	for _, h := range hs {
 		gam := m.ElongationFor(delay, h.ref.Len(), h.ref.Child().Cap, h.rUp)
-		p.gammas[i] = gam
+		p.gammas = append(p.gammas, gam)
 		p.wire += gam
 	}
+	buf.gammas = p.gammas
 	return p
 }
 

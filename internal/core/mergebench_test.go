@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/ctree"
+	"repro/internal/order"
+)
+
+// mergeSequence extracts the merge order of a routed tree: internal node
+// ids are assigned densely in merge order, so ordering internal nodes by id
+// and reading their children's ids reproduces the exact (i, j) sequence.
+func mergeSequence(in *ctree.Instance, root *ctree.Node) [][2]int {
+	n := len(in.Sinks)
+	byID := make([]*ctree.Node, 2*n-1)
+	root.Visit(func(nd *ctree.Node) { byID[nd.ID] = nd })
+	seq := make([][2]int, 0, n-1)
+	for id := n; id < len(byID); id++ {
+		nd := byID[id]
+		seq = append(seq, [2]int{nd.Left.ID, nd.Right.ID})
+	}
+	return seq
+}
+
+// replayMerges executes exactly the recorded merge bodies — no pairing, no
+// queue — reproducing the serial build of the same tree.
+func replayMerges(in *ctree.Instance, opt Options, seq [][2]int) *builder {
+	b := &builder{opt: opt, in: in, uf: newGroupUF(in.NumGroups)}
+	b.initScratch()
+	b.initNodes()
+	base := len(b.nodes)
+	for k, p := range seq {
+		c := &b.arena[base+k]
+		b.merge(b.nodes[p[0]], b.nodes[p[1]], c)
+		c.ID = base + k
+		b.nodes = append(b.nodes, c)
+	}
+	return b
+}
+
+// BenchmarkMergeBodies isolates the merge-body cost — window intersection,
+// joint resolution, Elmore bookkeeping, node construction — from the
+// pairing cost that BenchmarkOrderScaling includes: the merge sequence is
+// recorded once from a routed instance and then replayed without any
+// nearest-neighbor machinery. ReportAllocs makes the allocation weight of
+// the bodies themselves visible.
+func BenchmarkMergeBodies(b *testing.B) {
+	cases := []struct {
+		name string
+		in   *ctree.Instance
+		opt  Options
+	}{
+		{
+			name: "zst/n=1000",
+			in:   bench.Small(1000, 9),
+			opt:  Options{SingleGroup: true, Model: DefaultModel(), MaxSneakIter: 8, SneakCostCap: 8},
+		},
+		{
+			name: "ast-intermingled/n=400",
+			in:   bench.Intermingled(bench.Small(400, 33), 4, 99),
+			opt:  Options{Model: DefaultModel(), MaxSneakIter: 8, SneakCostCap: 8},
+		},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			ref, err := Build(tc.in, Options{
+				SingleGroup: tc.opt.SingleGroup,
+				Order:       order.Config{},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			seq := mergeSequence(tc.in, ref.Root)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last *builder
+			for i := 0; i < b.N; i++ {
+				last = replayMerges(tc.in, tc.opt, seq)
+			}
+			b.StopTimer()
+			root := last.nodes[len(last.nodes)-1]
+			b.ReportMetric(root.Wirelength(), "replay_wirelen")
+		})
+	}
+}

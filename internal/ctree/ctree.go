@@ -165,7 +165,8 @@ type Node struct {
 	DefRegion      geom.Octagon
 }
 
-// NewLeaf builds the leaf node for a sink.
+// NewLeaf builds the leaf node for a sink. (core's arena path constructs
+// its leaves inline instead, to intern the Groups/Delay structures.)
 func NewLeaf(s *Sink) *Node {
 	return &Node{
 		ID:     s.ID,
@@ -228,12 +229,21 @@ func (n *Node) DelayAt(m rctree.Model, e float64) map[int]rctree.Interval {
 	if !n.Deferred {
 		return n.Delay
 	}
-	tmp := Node{
-		Left: n.Left, Right: n.Right,
-		EdgeL: e, EdgeR: n.DefD - e,
-		Groups: n.Groups,
+	return n.DelayAtBuf(m, e, make(map[int]rctree.Interval, len(n.Groups)))
+}
+
+// DelayAtBuf is DelayAt evaluating into buf (cleared first), so hot callers
+// — the split searches of joint resolution evaluate hundreds of candidate
+// splits per merge — can reuse one map instead of allocating per call. For
+// resolved nodes it returns the committed map and leaves buf untouched. The
+// result must not be mutated and is valid until buf's next reuse.
+func (n *Node) DelayAtBuf(m rctree.Model, e float64, buf map[int]rctree.Interval) map[int]rctree.Interval {
+	if !n.Deferred {
+		return n.Delay
 	}
-	return mergedDelay(m, &tmp)
+	clear(buf)
+	mergedDelayInto(buf, m, n.Left, n.Right, e, n.DefD-e)
+	return buf
 }
 
 // RectAt returns the placement rectangle a deferred node would commit at
@@ -256,20 +266,26 @@ func (n *Node) SplitRange() (lo, hi float64) {
 // mergedDelay computes a node's per-group delay map from its resolved
 // children and committed edges.
 func mergedDelay(m rctree.Model, n *Node) map[int]rctree.Interval {
-	wl := m.WireDelay(n.EdgeL, n.Left.Cap)
-	wr := m.WireDelay(n.EdgeR, n.Right.Cap)
 	d := make(map[int]rctree.Interval, len(n.Groups))
-	for g, iv := range n.Left.Delay {
+	mergedDelayInto(d, m, n.Left, n.Right, n.EdgeL, n.EdgeR)
+	return d
+}
+
+// mergedDelayInto accumulates the per-group delay intervals of children
+// left and right, joined through edges of the given lengths, into d.
+func mergedDelayInto(d map[int]rctree.Interval, m rctree.Model, left, right *Node, edgeL, edgeR float64) {
+	wl := m.WireDelay(edgeL, left.Cap)
+	wr := m.WireDelay(edgeR, right.Cap)
+	for g, iv := range left.Delay {
 		d[g] = iv.Shift(wl)
 	}
-	for g, iv := range n.Right.Delay {
+	for g, iv := range right.Delay {
 		if prev, ok := d[g]; ok {
 			d[g] = rctree.Cover(prev, iv.Shift(wr))
 		} else {
 			d[g] = iv.Shift(wr)
 		}
 	}
-	return d
 }
 
 // HasGroup reports whether group g occurs in the subtree.
@@ -303,30 +319,40 @@ func (n *Node) OverallDelay() rctree.Interval {
 
 // UnionGroups merges two sorted group slices.
 func UnionGroups(a, b []int) []int {
-	out := make([]int, 0, len(a)+len(b))
+	return AppendUnionGroups(make([]int, 0, len(a)+len(b)), a, b)
+}
+
+// AppendUnionGroups appends the sorted union of a and b to dst, letting hot
+// callers reuse a scratch buffer.
+func AppendUnionGroups(dst, a, b []int) []int {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] < b[j]:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 		case a[i] > b[j]:
-			out = append(out, b[j])
+			dst = append(dst, b[j])
 			j++
 		default:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
 }
 
 // SharedGroups returns the sorted intersection of two sorted group slices.
 func SharedGroups(a, b []int) []int {
-	var out []int
+	return AppendSharedGroups(nil, a, b)
+}
+
+// AppendSharedGroups appends the sorted intersection of a and b to dst,
+// letting hot callers reuse a scratch buffer.
+func AppendSharedGroups(dst, a, b []int) []int {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -335,12 +361,12 @@ func SharedGroups(a, b []int) []int {
 		case a[i] > b[j]:
 			j++
 		default:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		}
 	}
-	return out
+	return dst
 }
 
 // Wirelength returns the total committed wirelength of the subtree

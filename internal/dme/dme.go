@@ -19,7 +19,6 @@
 package dme
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/ctree"
@@ -99,22 +98,69 @@ func merge(a, b *Node, m rctree.Model) *Node {
 	}
 }
 
-// pq is a min-heap of candidate pairs keyed by segment distance.
+// pqItem is a candidate pair keyed by segment distance.
 type pqItem struct {
 	d    float64
 	i, j int
 }
+
+// pq is a slice-backed min-heap of candidate pairs: unlike container/heap
+// it boxes nothing, so the ~4n pushes of a run allocate only the slice's
+// amortized growth.
 type pq []pqItem
 
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(a, b int) bool  { return p[a].d < p[b].d }
-func (p pq) Swap(a, b int)       { p[a], p[b] = p[b], p[a] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	x := old[len(old)-1]
-	*p = old[:len(old)-1]
-	return x
+func (p pq) less(a, b int) bool { return p[a].d < p[b].d }
+
+func (p *pq) push(it pqItem) {
+	*p = append(*p, it)
+	h := *p
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (p *pq) pop() pqItem {
+	h := *p
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	*p = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < last && h.less(l, least) {
+			least = l
+		}
+		if r < last && h.less(r, least) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top
+}
+
+// segScorer adapts the node list to spatial.Keyer, so grid queries run
+// without per-call closure allocations. nodes points at mergeAll's slice
+// (which reallocates as it grows).
+type segScorer struct {
+	nodes *[]*Node
+}
+
+func (s segScorer) PairKey(self, cand int) float64 {
+	ns := *s.nodes
+	return geom.DistRR(ns[self].Seg, ns[cand].Seg)
 }
 
 // mergeAll drains the items into one tree. useGrid answers the
@@ -131,25 +177,22 @@ func mergeAll(items []*Node, m rctree.Model, useGrid bool) *Node {
 		alive[i] = true
 	}
 	dist := func(i, j int) float64 { return geom.DistRR(nodes[i].Seg, nodes[j].Seg) }
-	var h pq
+	h := make(pq, 0, 2*len(nodes))
 
 	var idx *spatial.Index
+	scorer := segScorer{nodes: &nodes}
 	if useGrid {
 		boxes := make([]geom.Rect, len(nodes))
 		for i := range nodes {
 			boxes[i] = nodes[i].Seg
 		}
-		idx = spatial.New(spatial.AutoCell(boxes))
-		for i := range nodes {
-			idx.Insert(i, nodes[i].Seg)
-		}
+		idx = spatial.New(spatial.DensityCell(boxes))
+		idx.InsertAll(boxes)
 	}
 	pushNN := func(i int) {
 		best, bestD := -1, math.Inf(1)
 		if idx != nil {
-			best, bestD, _ = idx.Nearest(nodes[i].Seg,
-				func(j int) bool { return j == i },
-				func(j int) float64 { return dist(i, j) })
+			best, bestD, _ = idx.NearestScored(i, scorer)
 		} else {
 			for j := range nodes {
 				if j != i && alive[j] {
@@ -160,7 +203,7 @@ func mergeAll(items []*Node, m rctree.Model, useGrid bool) *Node {
 			}
 		}
 		if best >= 0 {
-			heap.Push(&h, pqItem{d: bestD, i: i, j: best})
+			h.push(pqItem{d: bestD, i: i, j: best})
 		}
 	}
 	for i := range nodes {
@@ -168,7 +211,7 @@ func mergeAll(items []*Node, m rctree.Model, useGrid bool) *Node {
 	}
 	live := len(nodes)
 	for live > 1 {
-		it := heap.Pop(&h).(pqItem)
+		it := h.pop()
 		switch {
 		case alive[it.i] && alive[it.j]:
 			alive[it.i], alive[it.j] = false, false

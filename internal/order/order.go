@@ -27,10 +27,17 @@
 // Batch pairing (NearestAll) may shard its queries across goroutines. All
 // results are written by position and ties break toward the smallest item
 // index, so merge sequences are reproducible across GOMAXPROCS settings.
+//
+// # Batched consumption
+//
+// NextBatch exposes each round's disjoint merge set at once, which lets the
+// router execute the merge bodies concurrently (the pairs of one batch never
+// share a subtree) and commit results in batch order. Next remains the
+// one-pair-at-a-time view of the same sequence; mixing the two mid-run is
+// supported, and both produce identical merge orders.
 package order
 
 import (
-	"container/heap"
 	"math"
 	"runtime"
 	"sort"
@@ -50,6 +57,13 @@ const (
 	// Greedy merges exactly one globally minimum-cost pair at a time
 	// (classic greedy-DME order).
 	Greedy
+	// GreedyBatch drains successive disjoint minimum pairs from the greedy
+	// heap into a batch before refreshing, amortizing the nearest-neighbor
+	// recomputations of new nodes into one parallel batch query per round.
+	// Unlike Greedy, nodes created within a batch cannot pair until the next
+	// round (the Multi trade-off at Greedy-like selection quality); unlike
+	// Multi, no full re-pairing of the live set happens per round.
+	GreedyBatch
 )
 
 // Pair is a candidate merge: item I paired with its best partner J at
@@ -68,7 +82,9 @@ type Pair struct {
 //     ok is false when no candidate remains.
 //   - NearestAll is the batch form over a slice of live ids. It may shard the
 //     queries across goroutines but must return, at each position, exactly
-//     what Nearest(ids[t]) would (J = -1 when no partner exists).
+//     what Nearest(ids[t]) would (J = -1 when no partner exists). The
+//     returned slice may alias an internal buffer: it is valid only until
+//     the next NearestAll call.
 //   - Scans reports the cumulative number of candidate key evaluations — the
 //     pairing-work metric recorded by the scaling benchmarks.
 type Pairer interface {
@@ -81,10 +97,10 @@ type Pairer interface {
 
 // Config parameterizes a Queue.
 type Config struct {
-	// Strategy selects Multi (the default) or Greedy.
+	// Strategy selects Multi (the default), Greedy, or GreedyBatch.
 	Strategy Strategy
-	// BatchFraction is the fraction of live items merged per Multi round,
-	// in (0, 0.5]; 0 selects the default 0.5.
+	// BatchFraction is the fraction of live items merged per Multi or
+	// GreedyBatch round, in (0, 0.5]; 0 selects the default 0.5.
 	BatchFraction float64
 	// Key optionally overrides the pair priority. It receives the two item
 	// indices and their distance and returns the priority (lower merges
@@ -110,13 +126,19 @@ type Queue struct {
 	alive  []bool
 	live   int
 
-	// Greedy state.
-	h pairHeap
+	// Greedy / GreedyBatch state.
+	h     pairHeap
+	fresh []int // GreedyBatch: ids inserted since the last heap refresh
 
-	// Multi state.
-	batch   []Pair
-	age     []int // rounds an item has survived unmerged (anti-starvation)
-	pending int   // merges issued since last batch build whose results are not yet registered
+	// Multi / GreedyBatch state.
+	batch  []Pair
+	cursor int   // batch[:cursor] already handed out by Next
+	age    []int // rounds an item has survived unmerged (anti-starvation)
+
+	// Reused per-round scratch (buildBatch, NextBatch).
+	ids  []int
+	used []bool
+	out  []Pair
 }
 
 // starveRounds is the number of Multi rounds an item may go unmerged before
@@ -139,19 +161,49 @@ func pairLess(a, b Pair) bool {
 	return a.J < b.J
 }
 
-// pairHeap orders candidates by pairLess.
-type pairHeap []Pair
+// pairHeap is a slice-backed binary min-heap ordered by pairLess. It avoids
+// the interface{} boxing of container/heap (one allocation per Push/Pop) and
+// is preallocated to the initial item count: the steady-state heap holds one
+// candidate per live item plus transient stale entries.
+type pairHeap struct{ s []Pair }
 
-func (h pairHeap) Len() int            { return len(h) }
-func (h pairHeap) Less(a, b int) bool  { return pairLess(h[a], h[b]) }
-func (h pairHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(Pair)) }
-func (h *pairHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *pairHeap) len() int { return len(h.s) }
+
+func (h *pairHeap) push(p Pair) {
+	h.s = append(h.s, p)
+	i := len(h.s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pairLess(h.s[i], h.s[parent]) {
+			break
+		}
+		h.s[i], h.s[parent] = h.s[parent], h.s[i]
+		i = parent
+	}
+}
+
+func (h *pairHeap) pop() Pair {
+	top := h.s[0]
+	last := len(h.s) - 1
+	h.s[0] = h.s[last]
+	h.s = h.s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < last && pairLess(h.s[l], h.s[least]) {
+			least = l
+		}
+		if r < last && pairLess(h.s[r], h.s[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h.s[i], h.s[least] = h.s[least], h.s[i]
+		i = least
+	}
+	return top
 }
 
 // New builds a queue over n initial items with the given distance function.
@@ -169,14 +221,15 @@ func New(cfg Config, n int, dist func(i, j int) float64) *Queue {
 		q.age = append(q.age, 0)
 		q.pairer.Insert(i)
 	}
-	if cfg.Strategy == Greedy {
+	if cfg.Strategy == Greedy || cfg.Strategy == GreedyBatch {
+		q.h.s = make([]Pair, 0, 2*n)
 		ids := make([]int, n)
 		for i := range ids {
 			ids[i] = i
 		}
 		for _, p := range q.pairer.NearestAll(ids) {
 			if p.J >= 0 {
-				heap.Push(&q.h, p)
+				q.h.push(p)
 			}
 		}
 	}
@@ -194,22 +247,90 @@ func (q *Queue) key(i, j int, d float64) float64 {
 // pushNN finds item i's best partner among live items and pushes the pair.
 func (q *Queue) pushNN(i int) {
 	if p, ok := q.pairer.Nearest(i); ok {
-		heap.Push(&q.h, p)
+		q.h.push(p)
 	}
 }
 
 // Next returns the next pair of live items to merge. ok is false when fewer
 // than two items remain. The caller must mark the result of the merge with
 // Merged before the subsequent Next (Greedy) or after draining the current
-// batch (Multi).
+// batch (Multi, GreedyBatch).
 func (q *Queue) Next() (i, j int, ok bool) {
-	if q.live < 2 {
-		return 0, 0, false
-	}
-	if q.cfg.Strategy == Greedy {
+	switch q.cfg.Strategy {
+	case Greedy:
+		if q.live < 2 {
+			return 0, 0, false
+		}
 		return q.nextGreedy()
+	case GreedyBatch:
+		// GreedyBatch retires the whole batch at selection, so pending
+		// batch pairs must be served before consulting the live count.
+		if q.cursor >= len(q.batch) {
+			if q.live < 2 {
+				return 0, 0, false
+			}
+			q.selectGreedyBatch()
+			if len(q.batch) == 0 {
+				return 0, 0, false
+			}
+		}
+		p := q.batch[q.cursor]
+		q.cursor++
+		return p.I, p.J, true
+	default:
+		if q.cursor >= len(q.batch) && q.live < 2 {
+			return 0, 0, false
+		}
+		return q.nextMulti()
 	}
-	return q.nextMulti()
+}
+
+// NextBatch returns the next round's batch of disjoint merges, retiring all
+// its items, or nil when fewer than two items remain. Under Greedy the batch
+// always holds a single pair; under Multi and GreedyBatch it holds the whole
+// round. The pairs of one batch never share an item, so the caller may
+// execute the merge bodies concurrently; results must be registered with
+// Merged in batch order. The returned slice is valid until the next
+// NextBatch or Next call.
+func (q *Queue) NextBatch() []Pair {
+	switch q.cfg.Strategy {
+	case Greedy:
+		if q.live < 2 {
+			return nil
+		}
+		i, j, ok := q.nextGreedy()
+		if !ok {
+			return nil
+		}
+		q.out = append(q.out[:0], Pair{I: i, J: j})
+		return q.out
+	case GreedyBatch:
+		if q.cursor >= len(q.batch) {
+			if q.live < 2 {
+				return nil
+			}
+			q.selectGreedyBatch()
+		}
+		rest := q.batch[q.cursor:] // pairs were retired at selection
+		q.cursor = len(q.batch)
+		return rest
+	default:
+		if q.cursor >= len(q.batch) {
+			if q.live < 2 {
+				return nil
+			}
+			q.buildBatch()
+			if len(q.batch) == 0 {
+				return nil
+			}
+		}
+		rest := q.batch[q.cursor:]
+		q.cursor = len(q.batch)
+		for _, p := range rest {
+			q.retire(p.I, p.J)
+		}
+		return rest
+	}
 }
 
 // retire marks both items of a chosen pair dead, here and in the pairer.
@@ -221,8 +342,8 @@ func (q *Queue) retire(i, j int) {
 }
 
 func (q *Queue) nextGreedy() (int, int, bool) {
-	for q.h.Len() > 0 {
-		p := heap.Pop(&q.h).(Pair)
+	for q.h.len() > 0 {
+		p := q.h.pop()
 		ai, aj := q.alive[p.I], q.alive[p.J]
 		switch {
 		case ai && aj:
@@ -238,17 +359,51 @@ func (q *Queue) nextGreedy() (int, int, bool) {
 }
 
 func (q *Queue) nextMulti() (int, int, bool) {
-	if len(q.batch) == 0 {
+	if q.cursor >= len(q.batch) {
 		q.buildBatch()
 		if len(q.batch) == 0 {
 			return 0, 0, false
 		}
 	}
-	p := q.batch[0]
-	q.batch = q.batch[1:]
+	p := q.batch[q.cursor]
+	q.cursor++
 	q.retire(p.I, p.J)
-	q.pending++
 	return p.I, p.J, true
+}
+
+// selectGreedyBatch drains up to ceil(live·BatchFraction) disjoint minimum
+// pairs from the greedy heap into q.batch, retiring them. Before selecting,
+// the nearest partners of all nodes registered since the last round are
+// computed in one batch query — the batched form of Greedy's per-merge heap
+// refresh, which shards across CPUs instead of issuing sequential queries.
+func (q *Queue) selectGreedyBatch() {
+	q.batch = q.batch[:0]
+	q.cursor = 0
+	if len(q.fresh) > 0 {
+		for _, p := range q.pairer.NearestAll(q.fresh) {
+			if p.J >= 0 {
+				q.h.push(p)
+			}
+		}
+		q.fresh = q.fresh[:0]
+	}
+	limit := int(math.Ceil(float64(q.live) * q.cfg.BatchFraction))
+	if limit < 1 {
+		limit = 1
+	}
+	for len(q.batch) < limit && q.h.len() > 0 {
+		p := q.h.pop()
+		ai, aj := q.alive[p.I], q.alive[p.J]
+		switch {
+		case ai && aj:
+			q.retire(p.I, p.J)
+			q.batch = append(q.batch, p)
+		case ai:
+			q.pushNN(p.I)
+		case aj:
+			q.pushNN(p.J)
+		}
+	}
 }
 
 // buildBatch computes the nearest-neighbor pairing of all live items and
@@ -257,12 +412,15 @@ func (q *Queue) nextMulti() (int, int, bool) {
 // pairer's batch query (parallelizable); the final disjoint selection is a
 // deterministic sequential sweep in (key, index) order.
 func (q *Queue) buildBatch() {
-	var ids []int
+	q.batch = q.batch[:0]
+	q.cursor = 0
+	ids := q.ids[:0]
 	for i, a := range q.alive {
 		if a {
 			ids = append(ids, i)
 		}
 	}
+	q.ids = ids
 	if len(ids) < 2 {
 		return
 	}
@@ -281,7 +439,13 @@ func (q *Queue) buildBatch() {
 	if limit < 1 {
 		limit = 1
 	}
-	used := make(map[int]bool, 2*limit)
+	for len(q.used) < len(q.alive) {
+		q.used = append(q.used, false)
+	}
+	used := q.used
+	for _, i := range ids {
+		used[i] = false
+	}
 	// Anti-starvation first: force-pair long-waiting items before the normal
 	// selection can claim their partners. Running this after the selection
 	// (the original order) leaves a starved item stranded whenever the
@@ -336,10 +500,11 @@ func (q *Queue) Merged(newID int) {
 	q.age = append(q.age, 0)
 	q.live++
 	q.pairer.Insert(newID)
-	if q.cfg.Strategy == Greedy {
+	switch q.cfg.Strategy {
+	case Greedy:
 		q.pushNN(newID)
-	} else if q.pending > 0 {
-		q.pending--
+	case GreedyBatch:
+		q.fresh = append(q.fresh, newID)
 	}
 }
 
@@ -356,6 +521,7 @@ type scanPairer struct {
 	alive []bool
 	dist  func(i, j int) float64
 	key   func(i, j int, d float64) float64
+	out   []Pair
 	scans atomic.Int64
 }
 
@@ -393,7 +559,10 @@ func (p *scanPairer) Nearest(i int) (Pair, bool) {
 }
 
 func (p *scanPairer) NearestAll(ids []int) []Pair {
-	out := make([]Pair, len(ids))
+	if cap(p.out) < len(ids) {
+		p.out = make([]Pair, len(ids))
+	}
+	out := p.out[:len(ids)]
 	ParallelChunks(len(ids), func(lo, hi int) {
 		for t := lo; t < hi; t++ {
 			out[t], _ = p.Nearest(ids[t])
@@ -414,11 +583,19 @@ const parallelMin = 192
 // results by position, so output is deterministic regardless of scheduling.
 // Shared by the built-in scan pairer and external engines (internal/spatial).
 func ParallelChunks(n int, f func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if n < parallelMin || workers <= 1 {
-		if n > 0 {
-			f(0, n)
-		}
+	ParallelChunksN(n, runtime.GOMAXPROCS(0), parallelMin, f)
+}
+
+// ParallelChunksN is ParallelChunks with an explicit worker count and inline
+// threshold: n below minInline (or workers ≤ 1) runs f(0, n) on the calling
+// goroutine. Used by the router's parallel merge executor, whose worker
+// count is an option rather than GOMAXPROCS.
+func ParallelChunksN(n, workers, minInline int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if n < minInline || workers <= 1 {
+		f(0, n)
 		return
 	}
 	if workers > n {

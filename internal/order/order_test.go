@@ -164,3 +164,83 @@ func TestGreedyPicksShortestAmongRemaining(t *testing.T) {
 		alive[id] = true
 	}
 }
+
+func TestGreedyBatchMergesAll(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pos := make([]float64, 100)
+	for i := range pos {
+		pos[i] = r.Float64() * 1e4
+	}
+	for _, frac := range []float64{0, 0.1, 0.5} {
+		seq := runAll(t, Config{Strategy: GreedyBatch, BatchFraction: frac}, pos)
+		if len(seq) != len(pos)-1 {
+			t.Fatalf("frac %v: merges = %d, want %d", frac, len(seq), len(pos)-1)
+		}
+		used := map[int]bool{}
+		for _, p := range seq {
+			for _, x := range p {
+				if used[x] {
+					t.Fatalf("item %d merged twice", x)
+				}
+				used[x] = true
+			}
+		}
+	}
+	// The first merge of the first batch is the globally closest pair.
+	seq := runAll(t, Config{Strategy: GreedyBatch}, []float64{0, 10, 11, 50, 52, 100})
+	if first := seq[0]; !(first == [2]int{1, 2} || first == [2]int{2, 1}) {
+		t.Errorf("first merge = %v, want {1,2}", first)
+	}
+}
+
+// drainBatches consumes a queue through NextBatch, simulating merges with
+// the same 1-D midpoint metric as runAll.
+func drainBatches(t *testing.T, cfg Config, pos []float64) [][2]int {
+	t.Helper()
+	coords := append([]float64(nil), pos...)
+	dist := func(i, j int) float64 { return math.Abs(coords[i] - coords[j]) }
+	q := New(cfg, len(pos), dist)
+	var seq [][2]int
+	for {
+		batch := q.NextBatch()
+		if len(batch) == 0 {
+			break
+		}
+		// Batch pairs must be disjoint (the parallel-execution contract).
+		seen := map[int]bool{}
+		for _, p := range batch {
+			if seen[p.I] || seen[p.J] {
+				t.Fatalf("batch reuses an item: %v", batch)
+			}
+			seen[p.I], seen[p.J] = true, true
+		}
+		for _, p := range batch {
+			seq = append(seq, [2]int{p.I, p.J})
+			coords = append(coords, (coords[p.I]+coords[p.J])/2)
+			q.Merged(len(coords) - 1)
+		}
+	}
+	return seq
+}
+
+// TestNextBatchMatchesNext: the batched view must yield exactly the merge
+// sequence of the one-at-a-time view, for every strategy.
+func TestNextBatchMatchesNext(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	pos := make([]float64, 120)
+	for i := range pos {
+		pos[i] = r.Float64() * 1e4
+	}
+	for _, st := range []Strategy{Greedy, Multi, GreedyBatch} {
+		one := runAll(t, Config{Strategy: st}, pos)
+		batched := drainBatches(t, Config{Strategy: st}, pos)
+		if len(one) != len(batched) {
+			t.Fatalf("strategy %v: %d merges (Next) vs %d (NextBatch)", st, len(one), len(batched))
+		}
+		for k := range one {
+			if one[k] != batched[k] {
+				t.Fatalf("strategy %v: merge %d = %v (Next) vs %v (NextBatch)", st, k, one[k], batched[k])
+			}
+		}
+	}
+}

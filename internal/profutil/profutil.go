@@ -1,0 +1,48 @@
+// Package profutil holds the shared -cpuprofile/-memprofile plumbing of
+// the command-line tools, so the perf workflow (route under a profiler,
+// read the flame graph, fix, repeat) needs no per-command boilerplate.
+package profutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// stop time to memPath; either path may be empty to disable that profile.
+// The returned stop must be called (typically deferred) on the success
+// path — os.Exit bypasses it, so error-path exits lose at most a partial
+// profile, never a corrupt run.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profutil:", err)
+				return
+			}
+			runtime.GC() // settle live objects so the heap profile is sharp
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "profutil:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

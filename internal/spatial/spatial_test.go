@@ -206,3 +206,134 @@ func TestInsertDeleteBookkeeping(t *testing.T) {
 		t.Error("Scans not counted")
 	}
 }
+
+// TestTombstoneChurn hammers the lazy-deletion machinery: mass deletes
+// (forcing tombstone purges and live-drop re-cell rebuilds) interleaved with
+// inserts and re-inserts of previously tombstoned ids, checking Nearest
+// against brute force throughout.
+func TestTombstoneChurn(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	const n = 600
+	boxes := make([]geom.Rect, n)
+	live := make([]bool, n)
+	x := New(25)
+	for i := range boxes {
+		boxes[i] = randRect(r, 1000, 10)
+		live[i] = true
+		x.Insert(i, boxes[i])
+	}
+	check := func(tag string) {
+		t.Helper()
+		nLive := 0
+		for _, a := range live {
+			if a {
+				nLive++
+			}
+		}
+		if x.Len() != nLive {
+			t.Fatalf("%s: Len = %d, want %d", tag, x.Len(), nLive)
+		}
+		for i := range boxes {
+			if !live[i] {
+				continue
+			}
+			skip := func(j int) bool { return j == i }
+			wantJ, wantD := bruteNearest(boxes, live, boxes[i], skip)
+			gotJ, gotD, ok := x.Nearest(boxes[i], skip, func(j int) float64 {
+				return geom.DistRR(boxes[i], boxes[j])
+			})
+			if wantJ < 0 {
+				if ok {
+					t.Fatalf("%s: item %d: got %d, want none", tag, i, gotJ)
+				}
+				continue
+			}
+			if !ok || gotJ != wantJ || gotD != wantD {
+				t.Fatalf("%s: item %d: got (%d, %v), want (%d, %v)", tag, i, gotJ, gotD, wantJ, wantD)
+			}
+		}
+	}
+	check("initial")
+	// Delete 80% — drives the live count through several halvings, so both
+	// the purge sweep and the re-cell rebuild must fire.
+	for i := 0; i < n; i++ {
+		if r.Float64() < 0.8 && live[i] {
+			x.Delete(i)
+			live[i] = false
+		}
+	}
+	check("after mass delete")
+	// Resurrect some tombstoned ids under new boxes.
+	for i := 0; i < n/4; i++ {
+		id := r.Intn(n)
+		if !live[id] {
+			boxes[id] = randRect(r, 1000, 10)
+			x.Insert(id, boxes[id])
+			live[id] = true
+		}
+	}
+	check("after resurrection")
+	// Drain to a handful.
+	for i := 0; i < n; i++ {
+		if live[i] && x.Len() > 3 {
+			x.Delete(i)
+			live[i] = false
+		}
+	}
+	check("after drain")
+}
+
+// TestInsertAllMatchesIncremental: the bulk fill must be observationally
+// identical to one-by-one inserts.
+func TestInsertAllMatchesIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	const n = 400
+	boxes := make([]geom.Rect, n)
+	for i := range boxes {
+		boxes[i] = randRect(r, 2000, 15)
+	}
+	bulk := NewBounded(30, geom.Rect{ULo: 0, UHi: 2015, VLo: 0, VHi: 2015})
+	bulk.InsertAll(boxes)
+	inc := NewBounded(30, geom.Rect{ULo: 0, UHi: 2015, VLo: 0, VHi: 2015})
+	for i, b := range boxes {
+		inc.Insert(i, b)
+	}
+	if bulk.Len() != inc.Len() {
+		t.Fatalf("Len %d != %d", bulk.Len(), inc.Len())
+	}
+	for i := range boxes {
+		skip := func(j int) bool { return j == i }
+		key := func(j int) float64 { return geom.DistRR(boxes[i], boxes[j]) }
+		bj, bd, bok := bulk.Nearest(boxes[i], skip, key)
+		ij, id, iok := inc.Nearest(boxes[i], skip, key)
+		if bj != ij || bd != id || bok != iok {
+			t.Fatalf("item %d: bulk (%d,%v,%v) != incremental (%d,%v,%v)", i, bj, bd, bok, ij, id, iok)
+		}
+	}
+}
+
+// TestDensityCell: sane on degenerate inputs, and finer than AutoCell on a
+// clustered placement (the property the power-law instances rely on).
+func TestDensityCell(t *testing.T) {
+	if c := DensityCell(nil); c != 1 {
+		t.Errorf("DensityCell(nil) = %v, want 1", c)
+	}
+	pt := geom.RectFromPoint(geom.Point{X: 1, Y: 2})
+	if c := DensityCell([]geom.Rect{pt, pt}); !(c > 0) {
+		t.Errorf("DensityCell(coincident points) = %v, want > 0", c)
+	}
+	// 2000 points in tight clusters spread over a wide die.
+	r := rand.New(rand.NewSource(5))
+	var clustered []geom.Rect
+	for c := 0; c < 10; c++ {
+		cx, cy := r.Float64()*1e6, r.Float64()*1e6
+		for k := 0; k < 200; k++ {
+			p := geom.Point{X: cx + r.NormFloat64()*500, Y: cy + r.NormFloat64()*500}
+			clustered = append(clustered, geom.RectFromPoint(p))
+		}
+	}
+	dc, ac := DensityCell(clustered), AutoCell(clustered)
+	if !(dc > 0) || dc >= ac {
+		t.Errorf("DensityCell = %v, want in (0, AutoCell=%v)", dc, ac)
+	}
+}
