@@ -229,6 +229,37 @@ func BenchmarkOrderScaling(b *testing.B) {
 	}
 }
 
+// TestRouteAllocBudget bounds the allocations of a full 10k-sink zero-skew
+// grid route, so allocation regressions on the large-instance hot path fail
+// CI instead of surfacing as silent slowdowns. The flat sorted-slice delay
+// representation plus the slab-backed grid buckets route 10k sinks in ~300
+// allocations (arena, slab chunks, queue and grid bootstrap); the budget
+// leaves generous headroom while staying far below the ~27k the map-based
+// delay bookkeeping needed. AllocsPerRun pins GOMAXPROCS to 1, so the count
+// excludes goroutine fan-out and is stable across CI machines.
+func TestRouteAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const budget = 2500
+	for _, dist := range []string{"uniform", "powerlaw"} {
+		var in *ctree.Instance
+		if dist == "uniform" {
+			in = bench.Small(10000, 9)
+		} else {
+			in = bench.PowerLaw(10000, bench.PowerLawClusters, bench.PowerLawAlpha, 9)
+		}
+		allocs := testing.AllocsPerRun(1, func() {
+			if _, err := core.ZST(in, core.Options{Pairer: core.PairerGrid}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > budget {
+			t.Errorf("%s 10k route allocations = %.0f, budget %d", dist, allocs, budget)
+		}
+	}
+}
+
 // BenchmarkSubstrate micro-benchmarks the geometry and delay kernels every
 // merge exercises.
 func BenchmarkSubstrate(b *testing.B) {

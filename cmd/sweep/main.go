@@ -41,6 +41,11 @@ type scalePoint struct {
 	Wirelength float64 `json:"wirelength"`
 	PairScans  int64   `json:"pair_scans"`
 	SkewPs     float64 `json:"skew_ps"`
+	// Spatial-index rebuild counts by trigger (zero under the scan pairer).
+	GridRebuilds     int `json:"grid_rebuilds"`
+	RebuildsLiveDrop int `json:"rebuilds_live_drop"`
+	RebuildsClamp    int `json:"rebuilds_edge_clamp"`
+	RebuildsScanRate int `json:"rebuilds_scan_rate"`
 }
 
 // scaleInstance is one (instance, placement label) pair of the scale series.
@@ -102,13 +107,17 @@ func runScale(sizes string, dist string, pairers string, seed int64, suite bool)
 			}
 			elapsed := time.Since(start).Seconds()
 			rep := eval.Analyze(res.Root, in, core.DefaultModel(), in.Source)
+			rb := res.Stats.GridRebuilds
 			series = append(series, scalePoint{
 				Sinks: len(in.Sinks), Dist: si.dist, Pairer: pm,
 				CPUSeconds: elapsed, Wirelength: res.Wirelength,
 				PairScans: res.Stats.PairScans, SkewPs: rep.GlobalSkew,
+				GridRebuilds: rb.Total(), RebuildsLiveDrop: rb.LiveDrop,
+				RebuildsClamp: rb.EdgeClamp, RebuildsScanRate: rb.ScanRate,
 			})
-			fmt.Fprintf(os.Stderr, "scale: n=%d dist=%s pairer=%s %.2fs wire=%.0f scans=%d\n",
-				len(in.Sinks), si.dist, pm, elapsed, res.Wirelength, res.Stats.PairScans)
+			fmt.Fprintf(os.Stderr, "scale: n=%d dist=%s pairer=%s %.2fs wire=%.0f scans=%d rebuilds=%d/%d/%d\n",
+				len(in.Sinks), si.dist, pm, elapsed, res.Wirelength, res.Stats.PairScans,
+				rb.LiveDrop, rb.EdgeClamp, rb.ScanRate)
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -206,6 +206,10 @@ type Stats struct {
 	// order performed — the work metric the spatial pairer drives
 	// sub-quadratic (all-pairs pairing scans Θ(n²) of them per round).
 	PairScans int64
+	// GridRebuilds counts the spatial pairer's index rebuilds by trigger
+	// (all zero under the all-pairs oracle). Like PairScans it is recorded
+	// once per run from the pairing engine, not accumulated by merge bodies.
+	GridRebuilds spatial.RebuildStats
 	// SneakUnresolved counts merges where sneaking could not (affordably)
 	// reconcile conflicting windows; the residual intra-group skew is then
 	// observable via package eval.
@@ -395,6 +399,55 @@ type sneakScratch struct {
 	plan    sneak
 }
 
+// delaySlabMin is the chunk size (entries) of the delay-set slab below.
+const delaySlabMin = 4096
+
+// delaySlab slab-allocates the backing storage of committed nodes' flat
+// delay sets: merges reserve exact-capacity slices out of large chunks
+// instead of allocating one map per node, which was the dominant allocation
+// of large routes. Chunks are never freed individually — they live as long
+// as the tree does. Each builder (including each parallel merge worker)
+// owns a private slab, so reservations need no synchronization.
+type delaySlab struct {
+	groups []int32
+	ivs    []rctree.Interval
+}
+
+// alloc reserves backing capacity for n delay entries and returns an empty
+// DelaySet over it. Appending up to n entries stays within the reserved
+// capacity and cannot reallocate or clobber neighboring reservations.
+func (sl *delaySlab) alloc(n int) rctree.DelaySet {
+	if cap(sl.groups)-len(sl.groups) < n {
+		sz := delaySlabMin
+		if n > sz {
+			sz = n
+		}
+		sl.groups = make([]int32, 0, sz)
+		sl.ivs = make([]rctree.Interval, 0, sz)
+	}
+	l := len(sl.groups)
+	ds := rctree.DelaySet{
+		Groups: sl.groups[l : l : l+n],
+		Ivs:    sl.ivs[l : l : l+n],
+	}
+	sl.groups = sl.groups[:l+n]
+	sl.ivs = sl.ivs[:l+n]
+	return ds
+}
+
+// reclaim returns the unused tail of the most recent reservation to the
+// slab — merges reserve the sum of both children's group counts but shared
+// groups collapse, so on single-group runs half of every reservation would
+// otherwise sit idle for the tree's lifetime — and pins the set's capacity
+// to its length so no append through the committed set can ever reach the
+// reclaimed space. Must be called before any subsequent alloc.
+func (sl *delaySlab) reclaim(ds rctree.DelaySet) rctree.DelaySet {
+	n := len(ds.Groups)
+	sl.groups = sl.groups[:len(sl.groups)-(cap(ds.Groups)-n)]
+	sl.ivs = sl.ivs[:len(sl.ivs)-(cap(ds.Ivs)-n)]
+	return rctree.DelaySet{Groups: ds.Groups[:n:n], Ivs: ds.Ivs[:n:n]}
+}
+
 type builder struct {
 	opt   Options
 	in    *ctree.Instance
@@ -408,11 +461,12 @@ type builder struct {
 
 	// Reusable scratch for the allocation-heavy merge-body helpers. Worker
 	// builders carry their own copies, so merge bodies never share scratch.
-	normA, normB   map[int]rctree.Interval // normalize outputs
-	delayA, delayB map[int]rctree.Interval // DelayAtBuf outputs (windowGap)
-	sneakA, sneakB sneakScratch            // sneak plan buffers
-	sharedBuf      []int                   // SharedGroups output (one merge)
-	unionBuf       []int                   // UnionGroups staging (one merge)
+	normA, normB   rctree.DelaySet // normalize outputs (keyed by union root)
+	delayA, delayB rctree.DelaySet // DelayAtBuf outputs (windowGap)
+	sneakA, sneakB sneakScratch    // sneak plan buffers
+	sharedBuf      []int           // SharedGroups output (one merge)
+	unionBuf       []int           // UnionGroups staging (one merge)
+	delays         delaySlab       // committed delay-set storage
 
 	// Parallel batch execution state (main builder only).
 	workers []mergeWorker
@@ -460,28 +514,24 @@ func (b *builder) interBound() float64 {
 // initScratch sizes the builder's reusable merge-body buffers.
 func (b *builder) initScratch() {
 	g := b.in.NumGroups
-	b.normA = make(map[int]rctree.Interval, g)
-	b.normB = make(map[int]rctree.Interval, g)
-	b.delayA = make(map[int]rctree.Interval, g)
-	b.delayB = make(map[int]rctree.Interval, g)
+	b.normA = rctree.MakeDelaySet(g)
+	b.normB = rctree.MakeDelaySet(g)
+	b.delayA = rctree.MakeDelaySet(g)
+	b.delayB = rctree.MakeDelaySet(g)
 }
 
-// normalizeInto aggregates a raw per-group delay map into per-union-root
+// normalizeInto aggregates a raw per-group delay set into per-union-root
 // intervals on the registry's normalized (offset-corrected) scale, written
-// into dst (cleared first). dst is one of the builder's scratch maps; the
-// result is valid until that map's next reuse.
-func (b *builder) normalizeInto(dst, delay map[int]rctree.Interval) map[int]rctree.Interval {
-	clear(dst)
-	for g, iv := range delay {
+// into dst (reset first). dst is one of the builder's scratch sets; the
+// result is valid until that set's next reuse.
+func (b *builder) normalizeInto(dst *rctree.DelaySet, delay rctree.DelaySet) rctree.DelaySet {
+	dst.Reset()
+	for i := 0; i < delay.Len(); i++ {
+		g, iv := delay.At(i)
 		r, off := b.uf.find(g)
-		niv := iv.Shift(-off)
-		if prev, ok := dst[r]; ok {
-			dst[r] = rctree.Cover(prev, niv)
-		} else {
-			dst[r] = niv
-		}
+		dst.Insert(int32(r), iv.Shift(-off))
 	}
-	return dst
+	return *dst
 }
 
 // constraint identifies one hard window of a merge.
@@ -508,11 +558,13 @@ type constraint struct {
 // normalized reports whether the union-root pass ran, i.e. b.normA/b.normB
 // now hold the normalized forms of da/db — windowGap reuses them for its
 // misalignment term instead of normalizing the same inputs again.
-func (b *builder) forConstraints(da, db map[int]rctree.Interval, shared []int,
+func (b *builder) forConstraints(da, db rctree.DelaySet, shared []int,
 	f func(c constraint, ia, ib rctree.Interval, bound float64)) (normalized bool) {
 	bd := b.boundOf()
 	for _, g := range shared {
-		f(constraint{raw: true, id: g}, da[g], db[g], bd)
+		ia, _ := da.Get(g)
+		ib, _ := db.Get(g)
+		f(constraint{raw: true, id: g}, ia, ib, bd)
 	}
 	// Explicit inter-group pair constraints: delay(J) − delay(I) ∈ [lo, hi],
 	// enforceable here when the two groups sit on opposite sides. With I on
@@ -526,13 +578,13 @@ func (b *builder) forConstraints(da, db map[int]rctree.Interval, shared []int,
 	for _, pc := range b.opt.PairConstraints {
 		mid := (pc.MinPs + pc.MaxPs) / 2
 		half := (pc.MaxPs - pc.MinPs) / 2
-		if ia, ok := da[pc.I]; ok {
-			if ib, ok := db[pc.J]; ok {
+		if ia, ok := da.Get(pc.I); ok {
+			if ib, ok := db.Get(pc.J); ok {
 				f(constraint{raw: false, id: -1}, ia, ib.Shift(-mid), half)
 			}
 		}
-		if ja, ok := da[pc.J]; ok {
-			if ib, ok := db[pc.I]; ok {
+		if ja, ok := da.Get(pc.J); ok {
+			if ib, ok := db.Get(pc.I); ok {
 				f(constraint{raw: false, id: -1}, ja.Shift(-mid), ib, half)
 			}
 		}
@@ -542,13 +594,11 @@ func (b *builder) forConstraints(da, db map[int]rctree.Interval, shared []int,
 	if math.IsInf(w, 1) {
 		return false
 	}
-	na := b.normalizeInto(b.normA, da)
-	nb := b.normalizeInto(b.normB, db)
-	for r, ia := range na {
-		if ib, ok := nb[r]; ok {
-			f(constraint{raw: false, id: r}, ia, ib, bd+w)
-		}
-	}
+	na := b.normalizeInto(&b.normA, da)
+	nb := b.normalizeInto(&b.normB, db)
+	rctree.ForEachShared(na, nb, func(r int32, ia, ib rctree.Interval) {
+		f(constraint{raw: false, id: int(r)}, ia, ib, bd+w)
+	})
 	return true
 }
 
@@ -558,12 +608,13 @@ func (b *builder) initNodes() {
 	b.arena = make([]ctree.Node, 2*n-1)
 	b.nodes = make([]*ctree.Node, 0, 2*n-1)
 	// Leaves of one group are identical in Groups and Delay ({g: [0,0]}),
-	// and node Group slices / Delay maps are never mutated in place (all
+	// and node Group slices / Delay sets are never mutated in place (all
 	// paths build replacements), so the leaves share interned instances —
-	// on large single-group (ZST) runs this removes two allocations per
-	// sink.
+	// the interning table below holds one Groups slice and one DelaySet per
+	// group, and on large single-group (ZST) runs this removes three
+	// allocations per sink.
 	groupsIntern := make([][]int, b.in.NumGroups)
-	delayIntern := make([]map[int]rctree.Interval, b.in.NumGroups)
+	delayIntern := make([]rctree.DelaySet, b.in.NumGroups)
 	leafGroup := func(s *ctree.Sink) int {
 		if b.opt.SingleGroup {
 			return 0
@@ -575,7 +626,7 @@ func (b *builder) initNodes() {
 		g := leafGroup(s)
 		if groupsIntern[g] == nil {
 			groupsIntern[g] = []int{g}
-			delayIntern[g] = map[int]rctree.Interval{g: rctree.PointInterval(0)}
+			delayIntern[g] = rctree.PointDelaySet(g, rctree.PointInterval(0))
 		}
 		leaf := &b.arena[i]
 		*leaf = ctree.Node{
@@ -647,6 +698,9 @@ func (b *builder) run() {
 		b.runBatch(q, batch)
 	}
 	b.stats.PairScans = q.Scans()
+	if gp, ok := ocfg.Pairer.(*spatial.GridPairer); ok {
+		b.stats.GridRebuilds = gp.Index().Rebuilds()
+	}
 	b.root = b.nodes[len(b.nodes)-1]
 	if b.root.Deferred {
 		src := geom.OctFromUV(geom.ToUV(b.in.Source))
@@ -784,30 +838,33 @@ func (b *builder) mergeBatchParallel(batch []order.Pair, base, workers int) {
 	}
 }
 
+// appendDistinctRoots appends the distinct union roots of the given groups
+// to dst, linearly deduplicating (group counts are small, and a stack
+// buffer beats a map on the hot paths that call this).
+func (b *builder) appendDistinctRoots(dst []int, gs []int) []int {
+	for _, g := range gs {
+		r, _ := b.uf.find(g)
+		dup := false
+		for _, have := range dst {
+			if have == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
 // scheduleTask classifies one batch merge against the written-roots scratch:
 // reports whether it can run in the parallel wave and whether it may write
 // the registry. Must be called in batch order.
 func (b *builder) scheduleTask(na, nb *ctree.Node) (wave, writer bool) {
 	// Collect the distinct union roots of both subtrees' groups.
 	var roots [16]int
-	rs := roots[:0]
-	addRoots := func(gs []int) {
-		for _, g := range gs {
-			r, _ := b.uf.find(g)
-			dup := false
-			for _, have := range rs {
-				if have == r {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				rs = append(rs, r)
-			}
-		}
-	}
-	addRoots(na.Groups)
-	addRoots(nb.Groups)
+	rs := b.appendDistinctRoots(b.appendDistinctRoots(roots[:0], na.Groups), nb.Groups)
 	writer = len(rs) >= 2
 	conflict := false
 	for _, r := range rs {
@@ -843,11 +900,8 @@ func (b *builder) registerOffsets(n *ctree.Node) {
 	var haveFirst bool
 	var firstRoot int
 	var firstNorm float64
-	for _, g := range n.Groups { // sorted: keeps runs deterministic
-		iv, ok := n.Delay[g]
-		if !ok {
-			continue
-		}
+	for i := 0; i < n.Delay.Len(); i++ { // ascending group: keeps runs deterministic
+		g, iv := n.Delay.At(i)
 		r, off := b.uf.find(g)
 		norm := (iv.Lo+iv.Hi)/2 - off
 		if !haveFirst {
@@ -989,17 +1043,9 @@ func (b *builder) merge(na, nb *ctree.Node, c *ctree.Node) {
 		c.Cap += m.WireCap(ea) + m.WireCap(eb)
 		wa := m.WireDelay(ea, na.Cap)
 		wb := m.WireDelay(eb, nb.Cap)
-		c.Delay = make(map[int]rctree.Interval, len(na.Groups)+len(nb.Groups))
-		for g, iv := range na.Delay {
-			c.Delay[g] = iv.Shift(wa)
-		}
-		for g, iv := range nb.Delay {
-			if prev, ok := c.Delay[g]; ok {
-				c.Delay[g] = rctree.Cover(prev, iv.Shift(wb))
-			} else {
-				c.Delay[g] = iv.Shift(wb)
-			}
-		}
+		ds := b.delays.alloc(na.Delay.Len() + nb.Delay.Len())
+		rctree.MergeDelaysInto(&ds, na.Delay, wa, nb.Delay, wb)
+		c.Delay = b.delays.reclaim(ds)
 		b.registerOffsets(c)
 	}
 }
@@ -1030,8 +1076,8 @@ func (b *builder) unionGroups(na, nb *ctree.Node) []int {
 // reach the window, minus a small preference for wide residual windows.
 func (b *builder) windowGap(na, nb *ctree.Node, shared []int, bound, ea, eb float64) (gap, cost, misalign float64) {
 	m := b.opt.Model
-	da := na.DelayAtBuf(m, ea, b.delayA)
-	db := nb.DelayAtBuf(m, eb, b.delayB)
+	da := na.DelayAtBuf(m, ea, &b.delayA)
+	db := nb.DelayAtBuf(m, eb, &b.delayB)
 	xLo, xHi := math.Inf(-1), math.Inf(1)
 	normalized := b.forConstraints(da, db, shared, func(_ constraint, ia, ib rctree.Interval, bd float64) {
 		if lo := ib.Hi - ia.Lo - bd; lo > xLo {
@@ -1051,21 +1097,19 @@ func (b *builder) windowGap(na, nb *ctree.Node, shared []int, bound, ea, eb floa
 	// spread of the required shifts measures that inevitable drift; small
 	// spread keeps the global offset system consistent and cheap.
 	{
-		// forConstraints already normalized da/db into the scratch maps
+		// forConstraints already normalized da/db into the scratch sets
 		// when the leash is active; recompute only when it did not.
 		va, vb := b.normA, b.normB
 		if !normalized {
-			va = b.normalizeInto(b.normA, da)
-			vb = b.normalizeInto(b.normB, db)
+			va = b.normalizeInto(&b.normA, da)
+			vb = b.normalizeInto(&b.normB, db)
 		}
 		lo, hi := math.Inf(1), math.Inf(-1)
-		for r, ia := range va {
-			if ib, ok := vb[r]; ok {
-				s := (ib.Lo+ib.Hi)/2 - (ia.Lo+ia.Hi)/2
-				lo = math.Min(lo, s)
-				hi = math.Max(hi, s)
-			}
-		}
+		rctree.ForEachShared(va, vb, func(_ int32, ia, ib rctree.Interval) {
+			s := (ib.Lo+ib.Hi)/2 - (ia.Lo+ia.Hi)/2
+			lo = math.Min(lo, s)
+			hi = math.Max(hi, s)
+		})
 		if hi > lo {
 			misalign = hi - lo
 		}
@@ -1094,16 +1138,17 @@ func (b *builder) windowGap(na, nb *ctree.Node, shared []int, bound, ea, eb floa
 }
 
 // relatedRoots reports whether the registry relates any group of na to any
-// group of nb.
+// group of nb. It is called from the merge key, i.e. from concurrent pairing
+// goroutines, so it only reads the registry.
 func (b *builder) relatedRoots(na, nb *ctree.Node) bool {
-	seen := make(map[int]bool, len(na.Groups))
-	for _, g := range na.Groups {
-		r, _ := b.uf.find(g)
-		seen[r] = true
-	}
+	var buf [16]int
+	roots := b.appendDistinctRoots(buf[:0], na.Groups)
 	for _, g := range nb.Groups {
-		if r, _ := b.uf.find(g); seen[r] {
-			return true
+		r, _ := b.uf.find(g)
+		for _, have := range roots {
+			if have == r {
+				return true
+			}
 		}
 	}
 	return false
@@ -1458,7 +1503,8 @@ func (b *builder) useGridPairer(n int, userKey bool) bool {
 
 // String summarizes the stats.
 func (s Stats) String() string {
-	return fmt.Sprintf("merges=%d (same=%d cross=%d shared=%d deferred=%d unions=%d) snakes=%d sneaks=%d (+%.0f wire, %d unresolved) scans=%d",
+	return fmt.Sprintf("merges=%d (same=%d cross=%d shared=%d deferred=%d unions=%d) snakes=%d sneaks=%d (+%.0f wire, %d unresolved) scans=%d rebuilds=%d (drop=%d clamp=%d rate=%d)",
 		s.Merges, s.SameGroup, s.CrossGroup, s.Shared, s.Deferred, s.GroupUnions,
-		s.MergeSnakes, s.SneakEvents, s.SneakWire, s.SneakUnresolved, s.PairScans)
+		s.MergeSnakes, s.SneakEvents, s.SneakWire, s.SneakUnresolved, s.PairScans,
+		s.GridRebuilds.Total(), s.GridRebuilds.LiveDrop, s.GridRebuilds.EdgeClamp, s.GridRebuilds.ScanRate)
 }

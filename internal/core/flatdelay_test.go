@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/ctree"
+	"repro/internal/eval"
+	"repro/internal/order"
+)
+
+// hashDelays folds the bit patterns of every per-sink delay into one FNV-64a
+// digest, in sink-ID order: any single-ULP drift in any sink's delay changes
+// the digest.
+func hashDelays(ds []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, d := range ds {
+		bits := math.Float64bits(d)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// TestFlatDelayMatchesMapBaseline pins the flat sorted-slice delay
+// representation bitwise to the behavior of the map-based implementation it
+// replaced: the wirelength bits and the per-sink delay digest below were
+// recorded from the last map-based build (commit 45acbe1) on these exact
+// instances, across all three batching strategies, ZST and grouped AST-DME,
+// at 1 and 4 merge workers. The flat build must reproduce every one of them
+// exactly — the representation change is not allowed to move a single bit
+// of any routed tree.
+func TestFlatDelayMatchesMapBaseline(t *testing.T) {
+	zst := bench.Small(600, 21)
+	grouped := bench.Intermingled(bench.Small(400, 33), 4, 99)
+	golden := []struct {
+		inst      string
+		strategy  order.Strategy
+		workers   int
+		wireBits  uint64
+		delayHash uint64
+	}{
+		{"zst", order.Multi, 1, 0x414296d0dd5b8f80, 0xdec0bd6930b8fb07},
+		{"zst", order.Multi, 4, 0x414296d0dd5b8f80, 0xdec0bd6930b8fb07},
+		{"zst", order.Greedy, 1, 0x41430837095ad6e4, 0x6b80f108b7b8c1b6},
+		{"zst", order.Greedy, 4, 0x41430837095ad6e4, 0x6b80f108b7b8c1b6},
+		{"zst", order.GreedyBatch, 1, 0x4149688d40a36590, 0x9cd6f2d8aec76065},
+		{"zst", order.GreedyBatch, 4, 0x4149688d40a36590, 0x9cd6f2d8aec76065},
+		{"grouped", order.Multi, 1, 0x4139ccbe875e55da, 0xe7123630ad067931},
+		{"grouped", order.Multi, 4, 0x4139ccbe875e55da, 0xe7123630ad067931},
+		{"grouped", order.Greedy, 1, 0x413ce17e677c3108, 0x79c49fbb85a3a9ef},
+		{"grouped", order.Greedy, 4, 0x413ce17e677c3108, 0x79c49fbb85a3a9ef},
+		{"grouped", order.GreedyBatch, 1, 0x414170495504222e, 0x6a7f78a009858da5},
+		{"grouped", order.GreedyBatch, 4, 0x414170495504222e, 0x6a7f78a009858da5},
+	}
+	for _, tc := range golden {
+		label := fmt.Sprintf("%s/strategy=%v/workers=%d", tc.inst, tc.strategy, tc.workers)
+		var in *ctree.Instance
+		var res *Result
+		var err error
+		switch tc.inst {
+		case "zst":
+			in = zst
+			res, err = ZST(in, Options{MergeWorkers: tc.workers, Order: order.Config{Strategy: tc.strategy}})
+		default:
+			in = grouped
+			res, err = Build(in, Options{IntraSkewBound: 0, MergeWorkers: tc.workers, Order: order.Config{Strategy: tc.strategy}})
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if bits := math.Float64bits(res.Wirelength); bits != tc.wireBits {
+			t.Errorf("%s: wirelength bits 0x%016x (%v), want 0x%016x (%v)",
+				label, bits, res.Wirelength, tc.wireBits, math.Float64frombits(tc.wireBits))
+		}
+		rep := eval.Analyze(res.Root, in, DefaultModel(), in.Source)
+		if h := hashDelays(rep.SinkDelay); h != tc.delayHash {
+			t.Errorf("%s: per-sink delay digest 0x%016x, want 0x%016x", label, h, tc.delayHash)
+		}
+	}
+}

@@ -69,11 +69,11 @@ func TestNodeInvariants(t *testing.T) {
 		if n.Region.IsEmpty() {
 			t.Fatalf("node %d empty region", n.ID)
 		}
-		if len(n.Groups) == 0 || n.Delay == nil {
+		if len(n.Groups) == 0 || n.Delay.IsZero() {
 			t.Fatalf("node %d missing group state", n.ID)
 		}
 		for _, g := range n.Groups {
-			if _, ok := n.Delay[g]; !ok {
+			if _, ok := n.Delay.Get(g); !ok {
 				t.Fatalf("node %d group %d missing delay", n.ID, g)
 			}
 		}
@@ -84,9 +84,10 @@ func TestNodeInvariants(t *testing.T) {
 	if math.Abs(res.Root.Cap-wantCap) > 1e-6*(1+wantCap) {
 		t.Errorf("cap drift: %v vs recomputed %v", wantCap, res.Root.Cap)
 	}
-	// Delay maps vs evaluator.
+	// Delay sets vs evaluator.
 	rep := eval.Analyze(res.Root, in, m, in.Source)
-	for g, iv := range res.Root.Delay {
+	for i := 0; i < res.Root.Delay.Len(); i++ {
+		g, iv := res.Root.Delay.At(i)
 		lo, hi := math.Inf(1), math.Inf(-1)
 		for _, s := range in.Sinks {
 			if s.Group == g {

@@ -37,13 +37,8 @@ func sameTree(t *testing.T, label string, a, b *ctree.Node) {
 	if a.Region != b.Region {
 		t.Fatalf("%s: regions differ", label)
 	}
-	if len(a.Delay) != len(b.Delay) {
-		t.Fatalf("%s: delay maps differ in size", label)
-	}
-	for g, iv := range a.Delay {
-		if biv, ok := b.Delay[g]; !ok || biv != iv {
-			t.Fatalf("%s: delay[%d] %v != %v", label, g, iv, biv)
-		}
+	if !a.Delay.Equal(b.Delay) {
+		t.Fatalf("%s: delay sets differ: %v vs %v", label, a.Delay, b.Delay)
 	}
 	sameTree(t, label+"L", a.Left, b.Left)
 	sameTree(t, label+"R", a.Right, b.Right)

@@ -5,9 +5,24 @@
 // A Node represents a subtree produced by bottom-up deferred merging. Until
 // top-down embedding, a node's position is a locus (geom.Rect); the wire
 // lengths of its two child edges, however, are committed at merge time and
-// may exceed the geometric child distance (wire snaking). Delay bookkeeping
-// is kept per sink group as a delay Interval measured from the subtree root;
-// a zero intra-group skew constraint keeps each group's interval degenerate.
+// may exceed the geometric child distance (wire snaking).
+//
+// # Delay bookkeeping
+//
+// Each node carries, per sink group present in its subtree, the Interval of
+// root-to-sink delays of that group's sinks (a zero intra-group skew
+// constraint keeps each group's interval degenerate). The bookkeeping is a
+// flat rctree.DelaySet — parallel group-id/interval slices sorted by group —
+// rather than a map: merging two children is one linear pass over both
+// sorted sets (rctree.MergeDelaysInto), lookups are binary searches, and
+// iteration is always in ascending group order, so no map-iteration order
+// can leak into results. The flat sets also slab-allocate: routers that
+// build millions of nodes back them with arena slices instead of one map
+// (plus buckets) per node, which is where the bulk of a large route's
+// allocations used to come from. Delay sets are never mutated in place once
+// committed — all paths build replacements — so leaves of one group may
+// share one interned set, and any code holding a DelaySet may keep it
+// across merges.
 package ctree
 
 import (
@@ -141,9 +156,10 @@ type Node struct {
 	Cap float64
 	// Groups lists, sorted ascending, the sink groups present in the subtree.
 	Groups []int
-	// Delay maps each group in Groups to the interval of root-to-sink delays
-	// of that group's sinks (ps).
-	Delay map[int]rctree.Interval
+	// Delay holds, for each group in Groups, the interval of root-to-sink
+	// delays of that group's sinks (ps), as a flat group-sorted set whose
+	// group ids mirror Groups exactly.
+	Delay rctree.DelaySet
 	// Handles maps a group to the snaking handle edge for that group, when
 	// one exists: the highest edge in the subtree below which lie exactly the
 	// subtree's sinks of that group.
@@ -174,7 +190,7 @@ func NewLeaf(s *Sink) *Node {
 		Region: geom.RectFromPoint(s.Loc),
 		Cap:    s.CapFF,
 		Groups: []int{s.Group},
-		Delay:  map[int]rctree.Interval{s.Group: rctree.PointInterval(0)},
+		Delay:  rctree.PointDelaySet(s.Group, rctree.PointInterval(0)),
 	}
 }
 
@@ -222,28 +238,28 @@ func (n *Node) ResolveToward(m rctree.Model, target geom.Octagon) geom.Rect {
 	return n.Region
 }
 
-// DelayAt returns the per-group delay map a deferred node would commit at
+// DelayAt returns the per-group delay set a deferred node would commit at
 // split e, without committing it. For resolved nodes it returns the current
-// map. The result must not be mutated.
-func (n *Node) DelayAt(m rctree.Model, e float64) map[int]rctree.Interval {
+// set. The result must not be mutated.
+func (n *Node) DelayAt(m rctree.Model, e float64) rctree.DelaySet {
 	if !n.Deferred {
 		return n.Delay
 	}
-	return n.DelayAtBuf(m, e, make(map[int]rctree.Interval, len(n.Groups)))
+	buf := rctree.MakeDelaySet(len(n.Groups))
+	return n.DelayAtBuf(m, e, &buf)
 }
 
-// DelayAtBuf is DelayAt evaluating into buf (cleared first), so hot callers
+// DelayAtBuf is DelayAt evaluating into buf (reset first), so hot callers
 // — the split searches of joint resolution evaluate hundreds of candidate
-// splits per merge — can reuse one map instead of allocating per call. For
-// resolved nodes it returns the committed map and leaves buf untouched. The
-// result must not be mutated and is valid until buf's next reuse.
-func (n *Node) DelayAtBuf(m rctree.Model, e float64, buf map[int]rctree.Interval) map[int]rctree.Interval {
+// splits per merge — can reuse one buffer instead of allocating per call.
+// For resolved nodes it returns the committed set and leaves buf untouched.
+// The result must not be mutated and is valid until buf's next reuse.
+func (n *Node) DelayAtBuf(m rctree.Model, e float64, buf *rctree.DelaySet) rctree.DelaySet {
 	if !n.Deferred {
 		return n.Delay
 	}
-	clear(buf)
 	mergedDelayInto(buf, m, n.Left, n.Right, e, n.DefD-e)
-	return buf
+	return *buf
 }
 
 // RectAt returns the placement rectangle a deferred node would commit at
@@ -263,29 +279,20 @@ func (n *Node) SplitRange() (lo, hi float64) {
 	return n.DefELo, n.DefEHi
 }
 
-// mergedDelay computes a node's per-group delay map from its resolved
+// mergedDelay computes a node's per-group delay set from its resolved
 // children and committed edges.
-func mergedDelay(m rctree.Model, n *Node) map[int]rctree.Interval {
-	d := make(map[int]rctree.Interval, len(n.Groups))
-	mergedDelayInto(d, m, n.Left, n.Right, n.EdgeL, n.EdgeR)
+func mergedDelay(m rctree.Model, n *Node) rctree.DelaySet {
+	d := rctree.MakeDelaySet(len(n.Groups))
+	mergedDelayInto(&d, m, n.Left, n.Right, n.EdgeL, n.EdgeR)
 	return d
 }
 
-// mergedDelayInto accumulates the per-group delay intervals of children
-// left and right, joined through edges of the given lengths, into d.
-func mergedDelayInto(d map[int]rctree.Interval, m rctree.Model, left, right *Node, edgeL, edgeR float64) {
+// mergedDelayInto merges the per-group delay intervals of children left and
+// right, joined through edges of the given lengths, into d (reset first).
+func mergedDelayInto(d *rctree.DelaySet, m rctree.Model, left, right *Node, edgeL, edgeR float64) {
 	wl := m.WireDelay(edgeL, left.Cap)
 	wr := m.WireDelay(edgeR, right.Cap)
-	for g, iv := range left.Delay {
-		d[g] = iv.Shift(wl)
-	}
-	for g, iv := range right.Delay {
-		if prev, ok := d[g]; ok {
-			d[g] = rctree.Cover(prev, iv.Shift(wr))
-		} else {
-			d[g] = iv.Shift(wr)
-		}
-	}
+	rctree.MergeDelaysInto(d, left.Delay, wl, right.Delay, wr)
 }
 
 // HasGroup reports whether group g occurs in the subtree.
@@ -305,16 +312,7 @@ func (n *Node) PureGroup() (int, bool) {
 
 // OverallDelay returns the interval covering all sink delays of the subtree.
 func (n *Node) OverallDelay() rctree.Interval {
-	first := true
-	var iv rctree.Interval
-	for _, d := range n.Delay {
-		if first {
-			iv, first = d, false
-		} else {
-			iv = rctree.Cover(iv, d)
-		}
-	}
-	return iv
+	return n.Delay.Overall()
 }
 
 // UnionGroups merges two sorted group slices.
@@ -414,7 +412,7 @@ func (n *Node) Sinks(dst []*Sink) []*Sink {
 func (n *Node) Recompute(m rctree.Model) {
 	if n.IsLeaf() {
 		n.Cap = n.Sink.CapFF
-		n.Delay = map[int]rctree.Interval{n.Sink.Group: rctree.PointInterval(0)}
+		n.Delay = rctree.PointDelaySet(n.Sink.Group, rctree.PointInterval(0))
 		return
 	}
 	n.Left.Recompute(m)

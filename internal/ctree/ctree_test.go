@@ -89,12 +89,12 @@ func TestRecompute(t *testing.T) {
 	// Group 0 delay: wire(4, capA) + wire(5, 10); symmetric edges → point interval.
 	capA := 20 + m.WireCap(10)
 	want0 := m.WireDelay(4, capA) + m.WireDelay(5, 10)
-	iv0 := root.Delay[0]
+	iv0, _ := root.Delay.Get(0)
 	if iv0.Width() > 1e-12 || math.Abs(iv0.Lo-want0) > 1e-9 {
 		t.Errorf("group 0 delay = %v, want point %v", iv0, want0)
 	}
 	want1 := m.WireDelay(4, 20.0)
-	if iv1 := root.Delay[1]; math.Abs(iv1.Lo-want1) > 1e-9 || iv1.Width() > 1e-12 {
+	if iv1, _ := root.Delay.Get(1); math.Abs(iv1.Lo-want1) > 1e-9 || iv1.Width() > 1e-12 {
 		t.Errorf("group 1 delay = %v, want point %v", iv1, want1)
 	}
 	if root.Wirelength() != 18 {
@@ -108,19 +108,19 @@ func TestRecompute(t *testing.T) {
 func TestSnakeHandleChangesOnlyThatGroupPlusUpstreamCap(t *testing.T) {
 	m := rctree.NewElmore(0.03, 0.02)
 	root, _ := buildTwoLevel(m)
-	before0 := root.Delay[0]
-	before1 := root.Delay[1]
+	before0, _ := root.Delay.Get(0)
+	before1, _ := root.Delay.Get(1)
 	// Snake the edge to sink 2 (the pure group-1 child of the root).
 	h := EdgeRef{Parent: root, Side: SideR}
 	h.AddLen(3)
 	root.Recompute(m)
-	after1 := root.Delay[1]
+	after1, _ := root.Delay.Get(1)
 	if after1.Lo <= before1.Lo {
 		t.Errorf("group 1 delay should increase: %v -> %v", before1, after1)
 	}
 	// Group 0 is unaffected: the snaked edge is not on its path and the extra
 	// cap sits below the root (no shared ancestor edge inside the subtree).
-	after0 := root.Delay[0]
+	after0, _ := root.Delay.Get(0)
 	if math.Abs(after0.Lo-before0.Lo) > 1e-12 {
 		t.Errorf("group 0 delay moved: %v -> %v", before0, after0)
 	}
@@ -175,7 +175,8 @@ func TestOverallDelayAndQueries(t *testing.T) {
 	m := rctree.NewElmore(0.03, 0.02)
 	root, sinks := buildTwoLevel(m)
 	all := root.OverallDelay()
-	for g, iv := range root.Delay {
+	for i := 0; i < root.Delay.Len(); i++ {
+		g, iv := root.Delay.At(i)
 		if iv.Lo < all.Lo-1e-12 || iv.Hi > all.Hi+1e-12 {
 			t.Errorf("group %d interval %v outside overall %v", g, iv, all)
 		}

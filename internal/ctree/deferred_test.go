@@ -52,8 +52,9 @@ func TestDeferredAccessors(t *testing.T) {
 		want := n.DelayAt(m, e)
 		clone, _, _ := deferredPair(m)
 		clone.Resolve(m, e)
-		for g, iv := range clone.Delay {
-			if w := want[g]; math.Abs(w.Lo-iv.Lo) > 1e-9 || math.Abs(w.Hi-iv.Hi) > 1e-9 {
+		for i := 0; i < clone.Delay.Len(); i++ {
+			g, iv := clone.Delay.At(i)
+			if w, ok := want.Get(g); !ok || math.Abs(w.Lo-iv.Lo) > 1e-9 || math.Abs(w.Hi-iv.Hi) > 1e-9 {
 				t.Fatalf("e=%v group %d: DelayAt %v vs resolved %v", e, g, w, iv)
 			}
 		}
@@ -118,14 +119,12 @@ func TestResolveTowardPicksNearestBoundary(t *testing.T) {
 	_ = l1
 }
 
-func TestDelayAtResolvedNodeReturnsCurrentMap(t *testing.T) {
+func TestDelayAtResolvedNodeReturnsCurrentSet(t *testing.T) {
 	m := rctree.NewElmore(0.1, 0.02)
 	n, _, _ := deferredPair(m)
 	n.Resolve(m, 50)
 	got := n.DelayAt(m, 999) // argument ignored for resolved nodes
-	for g, iv := range n.Delay {
-		if got[g] != iv {
-			t.Fatalf("group %d: %v vs %v", g, got[g], iv)
-		}
+	if !got.Equal(n.Delay) {
+		t.Fatalf("DelayAt %v vs committed %v", got, n.Delay)
 	}
 }

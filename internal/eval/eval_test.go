@@ -75,8 +75,9 @@ func TestAnalyzeMatchesNodeBookkeeping(t *testing.T) {
 	m := rctree.NewElmore(0.1, 0.02)
 	root, in := buildKnown(m)
 	rep := Analyze(root, in, m, in.Source)
-	// The independent evaluator must agree with the node Delay maps.
-	for g, iv := range root.Delay {
+	// The independent evaluator must agree with the node Delay sets.
+	for i := 0; i < root.Delay.Len(); i++ {
+		g, iv := root.Delay.At(i)
 		var lo, hi float64 = math.Inf(1), math.Inf(-1)
 		for _, s := range in.Sinks {
 			if s.Group != g {

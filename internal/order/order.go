@@ -40,7 +40,7 @@ package order
 import (
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -434,7 +434,18 @@ func (q *Queue) buildBatch() {
 	// pairLess is a strict total order over the candidates (one entry per
 	// item), so the sorted sequence — and hence the selected batch — is
 	// reproducible regardless of sort stability or pairing parallelism.
-	sort.Slice(cand, func(a, b int) bool { return pairLess(cand[a], cand[b]) })
+	// (slices.SortFunc, unlike sort.Slice, builds no reflect swapper: this
+	// sort runs every Multi round and stays allocation-free.)
+	slices.SortFunc(cand, func(a, b Pair) int {
+		switch {
+		case pairLess(a, b):
+			return -1
+		case pairLess(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
 	limit := int(math.Ceil(float64(len(ids)) * q.cfg.BatchFraction))
 	if limit < 1 {
 		limit = 1

@@ -28,15 +28,23 @@
 // Delete is a tombstone: the item is marked dead in O(1) and its bucket
 // entries are purged lazily, either when dead entries outnumber live ones
 // (a full sweep, amortized O(1) per delete) or at the next rebuild. Queries
-// skip dead entries. The grid re-cells itself as the live set evolves: when
-// the live count falls to half its peak since the last build — merge rounds
-// halve the live set and fatten the survivors — the index rebuilds with a
-// fresh window and a density-adapted cell from DensityCell, keeping bucket
+// skip dead entries. The grid re-cells itself as the live set evolves, on
+// two complementary triggers: when the live count falls to half its peak
+// since the last build — merge rounds halve the live set and fatten the
+// survivors — and when the measured scan rate degrades, i.e. a rolling
+// window of queries averages more than scanRateFactor times the candidate
+// evaluations per query measured just after the last rebuild (the
+// population schedule alone can leave the grid mis-celled for a long
+// stretch when the live-drop threshold lands at an unlucky phase; the
+// scan-rate trigger watches the actual query work instead). Rebuilds re-fit
+// the window and re-measure the cell with DensityCell, keeping bucket
 // occupancy near the sweet spot on clustered (power-law) placements where a
 // global extent/√n cell is far too coarse for the dense clusters. All
-// rebuild triggers are driven by deterministic counters maintained by the
-// single mutating goroutine, and cell size never affects query results, so
-// merge sequences remain exactly reproducible.
+// rebuild triggers are driven by deterministic counters — maintained by the
+// single mutating goroutine, or (the query counters) read only between
+// mutations — and cell size never affects query results, so merge sequences
+// remain exactly reproducible. Rebuilds are counted by trigger in
+// RebuildStats (see Rebuilds), which the router surfaces in its run stats.
 //
 // Queries run an expanding ring search. Cells at Chebyshev ring r around the
 // query's own cells lie at L∞ distance ≥ (r−1)·cell from the query box, so
@@ -83,7 +91,50 @@ const (
 	// maxCellsPerItem caps the dense window at this many cells per live
 	// item; DensityCell's estimate is floored so the array stays O(n).
 	maxCellsPerItem = 8
+
+	// Scan-rate rebuild policy (see maybeRebuild and scanRateExceeded).
+	// The live-drop trigger re-cells on a fixed population schedule and
+	// trusts DensityCell's estimate outright; when that estimate runs too
+	// coarse for an instance — measured on the power-law 50k circuit,
+	// whose candidate evaluations per query ran ~5× the 100k circuit's
+	// from the very first round — every bucket of the hot clusters is fat
+	// and stays fat through every scheduled rebuild. The scan-rate trigger
+	// watches the work directly: after each rebuild the mean candidate
+	// evaluations per query over the first scanBaselineQueries queries
+	// become the baseline, and whenever a later window of scanRateWindow
+	// queries averages more than scanRateFactor times that baseline —
+	// clamped into [scanRateFloor, scanRateCap], so noise on a cheap grid
+	// never fires and a baseline that is itself degenerate cannot excuse
+	// the degeneracy — the index re-cells with the cell estimate trimmed
+	// by half (cellTrim, floored at cellTrimMin: the scan counter only
+	// sees candidate evaluations, so a too-fine cell — whose cost is
+	// walking empty cells — must be bounded a priori). The trim persists
+	// across later live-drop rebuilds; the feedback is self-limiting
+	// because a successful trim drops the measured rate below the
+	// re-trigger threshold.
+	scanBaselineQueries = 64
+	scanRateWindow      = 256
+	scanRateFactor      = 3
+	// scanRateFloor/scanRateCap clamp the firing threshold (candidate
+	// evaluations per query). A well-celled grid measures ~2-4 items per
+	// visited bucket over ~9-12 visited cells, i.e. ~32/query; below that
+	// a 3×-baseline excess is noise, and a rolling mean beyond 3× that
+	// norm indicates fat buckets no matter what the baseline says.
+	scanRateFloor = 32
+	scanRateCap   = 96
+	// cellTrimMin bounds the persistent cell-estimate trim.
+	cellTrimMin = 0.25
 )
+
+// RebuildStats counts index rebuilds by trigger: the live count halving
+// (LiveDrop), too many items clamped at the window edge (EdgeClamp), and the
+// rolling scan rate exceeding the post-rebuild baseline (ScanRate).
+type RebuildStats struct {
+	LiveDrop, EdgeClamp, ScanRate int
+}
+
+// Total returns the total rebuild count.
+func (r RebuildStats) Total() int { return r.LiveDrop + r.EdgeClamp + r.ScanRate }
 
 // spanState tracks how an item relates to the bucket array.
 type spanState uint8
@@ -132,9 +183,36 @@ type Index struct {
 	clamped   int // live inserts clamped at the window edge since last build
 	peakLive  int // max live count since last rebuild (re-cell trigger)
 
+	// Scan-rate trigger state (single-writer; the cumulative counters it
+	// reads are atomics, but they are only inspected between mutations,
+	// after all concurrent queries have completed, so every decision is
+	// deterministic). buildQueries/buildScans snapshot the cumulative
+	// counters at the last rebuild; baseRate is the post-rebuild baseline
+	// scans/query (0 while still being established); ckQueries/ckScans
+	// checkpoint the rolling window.
+	buildQueries, buildScans int64
+	baseRate                 float64
+	ckQueries, ckScans       int64
+	// cellTrim scales every DensityCell estimate; scan-rate rebuilds halve
+	// it (down to cellTrimMin) when the measured rate says the estimate
+	// runs too coarse for this instance. 0 means 1 (never trimmed).
+	cellTrim float64
+
+	rebuilds RebuildStats
+
 	countBuf []int32 // bulk-fill scratch: per-cell entry counts
 
-	scans atomic.Int64
+	// entrySlab backs bucket growth: when an append outgrows a bucket's
+	// capacity, the doubled backing comes from this chunked slab instead of
+	// its own heap allocation. After a bulk build every bucket sits at exact
+	// capacity, so without the slab nearly every post-build insert pays a
+	// malloc; with it, growth costs only the copy. Abandoned backings (the
+	// outgrown originals, and every bucket on rebuild) simply become garbage
+	// with their chunk.
+	entrySlab []int32
+
+	scans   atomic.Int64
+	queries atomic.Int64 // Nearest/NearestScored calls (scan-rate trigger)
 }
 
 // New returns an empty index with the given cell edge (≤ 0 selects 1). The
@@ -278,6 +356,9 @@ func (x *Index) Box(id int) geom.Rect { return x.boxes[id] }
 // queries.
 func (x *Index) Scans() int64 { return x.scans.Load() }
 
+// Rebuilds reports how many times the index rebuilt itself, by trigger.
+func (x *Index) Rebuilds() RebuildStats { return x.rebuilds }
+
 // clampSpan converts box r to a window-relative, clamped cell span.
 // clamped reports whether any side was cut by the window edge.
 func (x *Index) clampSpan(r geom.Rect) (sp itemSpan, clamped bool) {
@@ -298,9 +379,37 @@ func (x *Index) file(id int32, sp itemSpan) {
 	for cv := sp.cv0; cv <= sp.cv1; cv++ {
 		row := cv * x.w
 		for cu := sp.cu0; cu <= sp.cu1; cu++ {
-			x.cells[row+cu] = append(x.cells[row+cu], id)
+			x.appendEntry(row+cu, id)
 		}
 	}
+}
+
+// entrySlabMin is the chunk size (entries) of the bucket-growth slab.
+const entrySlabMin = 1 << 14
+
+// appendEntry appends id to bucket c, growing an out-of-capacity bucket out
+// of the entry slab rather than a per-bucket heap allocation.
+func (x *Index) appendEntry(c int32, id int32) {
+	b := x.cells[c]
+	if len(b) == cap(b) {
+		n := 2 * len(b)
+		if n < 4 {
+			n = 4
+		}
+		if cap(x.entrySlab)-len(x.entrySlab) < n {
+			sz := entrySlabMin
+			if n > sz {
+				sz = n
+			}
+			x.entrySlab = make([]int32, 0, sz)
+		}
+		l := len(x.entrySlab)
+		nb := x.entrySlab[l : l+len(b) : l+n]
+		x.entrySlab = x.entrySlab[:l+n]
+		copy(nb, b)
+		b = nb
+	}
+	x.cells[c] = append(b, id)
 }
 
 // unfile removes id's bucket (or overflow) entries eagerly, adjusting the
@@ -441,16 +550,81 @@ func (x *Index) Delete(id int) {
 
 // maybeRebuild applies the amortized maintenance policy; see the package
 // comment. Called after every mutation; all triggers compare counters
-// maintained by the single mutating goroutine, so behavior is deterministic.
+// maintained by the single mutating goroutine — the scan-rate trigger also
+// reads the cumulative query counters, which are stable between mutations —
+// so behavior is deterministic.
 func (x *Index) maybeRebuild() {
 	switch {
 	case x.n >= recellMinLive && 2*x.n <= x.peakLive:
+		x.rebuilds.LiveDrop++
 		x.rebuild(true)
 	case x.clamped > clampSlack && 8*x.clamped > x.n:
+		x.rebuilds.EdgeClamp++
 		x.rebuild(false)
+	case x.scanRateExceeded():
+		x.rebuilds.ScanRate++
+		if x.cellTrim == 0 {
+			x.cellTrim = 1
+		}
+		if x.cellTrim > cellTrimMin {
+			x.cellTrim /= 2
+		}
+		x.rebuild(true)
 	case x.deadFiled > x.liveFiled+purgeSlack:
 		x.purge()
 	}
+}
+
+// scanRateExceeded implements the scan-rate rebuild trigger: it establishes
+// a baseline scans/query over the first scanBaselineQueries queries after a
+// rebuild, then compares each subsequent scanRateWindow-query window's mean
+// against scanRateFactor times that baseline, with the firing threshold
+// clamped into [scanRateFloor, scanRateCap] (see the policy constants).
+// Advancing the baseline and window checkpoints mutates single-writer
+// state, so this must only be called from the mutating goroutine
+// (maybeRebuild).
+func (x *Index) scanRateExceeded() bool {
+	if x.n < recellMinLive {
+		return false
+	}
+	qs, ss := x.queries.Load(), x.scans.Load()
+	// Once the trim is floored, a rebuild cannot make the cell any finer:
+	// the absolute arm is withdrawn (otherwise an instance whose intrinsic
+	// rate exceeds the cap at every cell size would trip a futile O(n)
+	// rebuild after every baseline window for the rest of the run), and
+	// only genuine drift beyond the measured baseline can still fire.
+	trimFloored := x.cellTrim > 0 && x.cellTrim <= cellTrimMin
+	if x.baseRate == 0 {
+		if dq := qs - x.buildQueries; dq >= scanBaselineQueries {
+			x.baseRate = float64(ss-x.buildScans) / float64(dq)
+			if x.baseRate < 1 {
+				x.baseRate = 1 // degenerate windows: avoid a zero baseline
+			}
+			x.ckQueries, x.ckScans = qs, ss
+			// The absolute arm applies to the baseline chunk itself: the
+			// router's queries arrive in one burst per merge round, and
+			// population-triggered rebuilds can recur before a second
+			// burst — if the first post-rebuild burst already runs beyond
+			// the cap, waiting for a window to confirm it means never
+			// firing at all.
+			return x.baseRate > scanRateCap && !trimFloored
+		}
+		return false
+	}
+	dq := qs - x.ckQueries
+	if dq < scanRateWindow {
+		return false
+	}
+	rate := float64(ss-x.ckScans) / float64(dq)
+	x.ckQueries, x.ckScans = qs, ss
+	threshold := scanRateFactor * x.baseRate
+	if threshold < scanRateFloor {
+		threshold = scanRateFloor
+	}
+	if threshold > scanRateCap && !trimFloored {
+		threshold = scanRateCap
+	}
+	return rate > threshold
 }
 
 // purge sweeps tombstoned entries out of every bucket. Cost is one pass
@@ -492,12 +666,18 @@ func (x *Index) rebuild(recell bool) {
 	x.over = x.over[:0]
 	x.liveFiled, x.deadFiled, x.clamped = 0, 0, 0
 	x.peakLive = x.n
+	// Restart the scan-rate trigger: new window, new cell, new baseline.
+	x.buildQueries, x.buildScans = x.queries.Load(), x.scans.Load()
+	x.baseRate, x.ckQueries, x.ckScans = 0, 0, 0
 	if len(live) == 0 {
 		x.w, x.h, x.cells = 0, 0, nil
 		return
 	}
 	if recell && len(live) >= recellMinLive {
 		x.cell = DensityCell(liveBoxes)
+		if x.cellTrim > 0 {
+			x.cell *= x.cellTrim
+		}
 	}
 	bb := boundsOf(liveBoxes)
 	x.setWindow(x.cellIdx(bb.ULo)-windowPad, x.cellIdx(bb.UHi)+windowPad,
@@ -571,6 +751,7 @@ type Keyer interface {
 func (x *Index) NearestScored(self int, k Keyer) (best int, bestKey float64, ok bool) {
 	q := x.boxes[self]
 	best, bestKey = -1, math.Inf(1)
+	x.queries.Add(1)
 	var scans int64
 	for _, id32 := range x.over {
 		id := int(id32)
@@ -688,6 +869,7 @@ func (x *Index) ringStrips(strips *[4][4]int32, u0, u1, v0, v1, r int32) int {
 // NearestScored, which avoids the per-call closures.
 func (x *Index) Nearest(q geom.Rect, skip func(int) bool, key func(id int) float64) (best int, bestKey float64, ok bool) {
 	best, bestKey = -1, math.Inf(1)
+	x.queries.Add(1)
 	var scans int64
 	consider := func(id32 int32) {
 		id := int(id32)
@@ -751,6 +933,11 @@ func (x *Index) KNearest(q geom.Rect, k int, skip func(int) bool) []int {
 	if k <= 0 {
 		return nil
 	}
+	// Counted like Nearest/NearestScored so the scan-rate trigger's
+	// scans-per-query accounting stays consistent for mixed workloads
+	// (a k-query legitimately evaluates more candidates, but omitting it
+	// from the denominator would inflate the measured rate instead).
+	x.queries.Add(1)
 	type cand struct {
 		d  float64
 		id int

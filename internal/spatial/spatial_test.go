@@ -337,3 +337,71 @@ func TestDensityCell(t *testing.T) {
 		t.Errorf("DensityCell = %v, want in (0, AutoCell=%v)", dc, ac)
 	}
 }
+
+// TestScanRateRebuildFiresOnFatBuckets drives the scan-rate trigger: an
+// index built with a deliberately coarse cell over a dense cluster piles
+// every item into a handful of buckets, so each query evaluates ~n
+// candidates — far beyond the firing cap. The first mutation after the
+// baseline burst must re-cell with a trimmed (finer) cell, and results must
+// stay exact throughout.
+func TestScanRateRebuildFiresOnFatBuckets(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const n = 600
+	boxes := make([]geom.Rect, n)
+	live := make([]bool, n)
+	x := New(1e6) // one giant cell: every query scans every item
+	for i := range boxes {
+		u, v := r.Float64()*1000, r.Float64()*1000
+		boxes[i] = geom.Rect{ULo: u, UHi: u, VLo: v, VHi: v}
+		live[i] = true
+		x.Insert(i, boxes[i])
+	}
+	coarse := x.Cell()
+	query := func() {
+		for i := 0; i < n; i++ {
+			if !live[i] {
+				continue
+			}
+			skip := func(j int) bool { return j == i }
+			wantJ, wantD := bruteNearest(boxes, live, boxes[i], skip)
+			gotJ, gotD, ok := x.Nearest(boxes[i], skip, func(j int) float64 {
+				return geom.DistRR(boxes[i], boxes[j])
+			})
+			if !ok || gotJ != wantJ || gotD != wantD {
+				t.Fatalf("item %d: got (%d, %v), want (%d, %v)", i, gotJ, gotD, wantJ, wantD)
+			}
+		}
+	}
+	query() // baseline burst: well over scanBaselineQueries queries, ~n scans each
+	x.Delete(0)
+	live[0] = false // mutation: maybeRebuild sees the degenerate rate
+	rb := x.Rebuilds()
+	if rb.ScanRate != 1 {
+		t.Fatalf("scan-rate rebuilds = %d (stats %+v), want 1", rb.ScanRate, rb)
+	}
+	if x.Cell() >= coarse {
+		t.Fatalf("cell %v not refined below the coarse %v", x.Cell(), coarse)
+	}
+	query() // exactness preserved across the re-cell
+}
+
+// TestRebuildStatsCountLiveDrop pins the trigger classification of the
+// population-schedule rebuild.
+func TestRebuildStatsCountLiveDrop(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	x := New(40)
+	const n = 100
+	for i := 0; i < n; i++ {
+		x.Insert(i, randRect(r, 1000, 10))
+	}
+	for i := 0; i < n/2; i++ {
+		x.Delete(i)
+	}
+	rb := x.Rebuilds()
+	if rb.LiveDrop < 1 {
+		t.Fatalf("live-drop rebuilds = %d (stats %+v), want >= 1", rb.LiveDrop, rb)
+	}
+	if rb.Total() != rb.LiveDrop+rb.EdgeClamp+rb.ScanRate {
+		t.Fatalf("Total inconsistent: %+v", rb)
+	}
+}
