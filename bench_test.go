@@ -28,6 +28,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	"repro/internal/rctree"
+	"repro/internal/shard"
 	"repro/internal/spicelite"
 )
 
@@ -189,11 +190,14 @@ func BenchmarkSpiceLite(b *testing.B) {
 // BenchmarkOrderScaling measures end-to-end zero-skew routing with the
 // all-pairs oracle pairer versus the spatial grid pairer (internal/spatial)
 // at increasing sink counts, on both uniform and power-law-clustered
-// placements. wirelen must agree between the two engines at equal n (the
-// differential tests pin exact equality); pair_scans records the pairing
-// work the grid makes sub-quadratic. Under -short only the smallest size
-// runs (the CI smoke); the full run includes the 10k-sink instance backing
-// the ≥10× speedup target.
+// placements, plus the sharded pipeline (internal/shard) over the grid at
+// 4 shards. wirelen must agree between scan and grid at equal n (the
+// differential tests pin exact equality); the sharded variant trades a
+// small wirelength increase for partition concurrency (the differential
+// tests pin its skew and envelope). pair_scans records the pairing work the
+// grid makes sub-quadratic. Under -short only the smallest size runs (the
+// CI smoke); the full run includes the 10k-sink instance backing the ≥10×
+// speedup target.
 func BenchmarkOrderScaling(b *testing.B) {
 	sizes := []int{1000, 10000}
 	if testing.Short() {
@@ -208,15 +212,22 @@ func BenchmarkOrderScaling(b *testing.B) {
 				in = bench.PowerLaw(n, bench.PowerLawClusters, bench.PowerLawAlpha, 9)
 			}
 			for _, pc := range []struct {
-				name string
-				mode core.PairerMode
-			}{{"scan", core.PairerScan}, {"grid", core.PairerGrid}} {
+				name   string
+				mode   core.PairerMode
+				shards int
+			}{
+				{"scan", core.PairerScan, 0},
+				{"grid", core.PairerGrid, 0},
+				{"grid-sh4", core.PairerGrid, 4},
+			} {
 				b.Run(fmt.Sprintf("%s/n=%d/pairer=%s", dist, n, pc.name), func(b *testing.B) {
 					b.ReportAllocs()
-					var res *core.Result
+					var res *shard.Result
 					var err error
 					for i := 0; i < b.N; i++ {
-						res, err = core.ZST(in, core.Options{Pairer: pc.mode})
+						res, err = shard.Build(in, core.Options{
+							SingleGroup: true, Pairer: pc.mode, Shards: pc.shards,
+						})
 						if err != nil {
 							b.Fatal(err)
 						}

@@ -7,6 +7,7 @@
 //	astdme -algo extbst  -bound 10 -in inst.json  # EXT-BST baseline
 //	astdme -algo zst     -in inst.json            # greedy-DME zero skew
 //	astdme -algo stitch  -in inst.json            # per-group trees + stitch
+//	astdme -algo zst -shards 4 -in inst.json      # sharded routing (internal/shard)
 //	astdme -algo ast -svg out.svg -in inst.json   # also render the tree
 package main
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/instio"
 	"repro/internal/profutil"
+	"repro/internal/shard"
 	"repro/internal/stitch"
 	"repro/internal/svgplot"
 )
@@ -29,8 +31,9 @@ func main() {
 		inPath     = flag.String("in", "", "instance JSON file (required)")
 		algo       = flag.String("algo", "ast", "algorithm: ast | extbst | zst | stitch")
 		bound      = flag.Float64("bound", 10, "skew bound in ps (extbst: global; ast: intra-group)")
+		shards     = flag.Int("shards", 0, "spatial shards routed concurrently and stitched (0 = off; ast/extbst/zst only)")
 		svgPath    = flag.String("svg", "", "write an SVG rendering of the embedded tree")
-		regions    = flag.Bool("regions", false, "draw merging regions in the SVG")
+		regions    = flag.Bool("regions", false, "draw merging regions in the SVG (requires -svg)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -39,6 +42,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Flag-combination validation: refuse contradictory flags instead of
+	// silently ignoring one of them.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["regions"] && !set["svg"] {
+		fatal(fmt.Errorf("-regions draws into the SVG rendering and requires -svg"))
+	}
+	if *shards > 0 && *algo == "stitch" {
+		fatal(fmt.Errorf("-shards applies to the core router (ast/extbst/zst); the stitch baseline builds per-group trees and cannot shard"))
+	}
+	if set["bound"] && *algo == "zst" {
+		fatal(fmt.Errorf("-bound is meaningless for zst (exact zero skew); drop it or use -algo extbst"))
+	}
+
 	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fatal(err)
@@ -51,26 +68,27 @@ func main() {
 
 	var root *ctree.Node
 	var wirelen float64
+	var sharded *shard.Result
 	switch *algo {
 	case "ast":
-		res, err := core.Build(in, core.Options{IntraSkewBound: *bound})
+		res, err := shard.Build(in, core.Options{IntraSkewBound: *bound, Shards: *shards})
 		if err != nil {
 			fatal(err)
 		}
-		root, wirelen = res.Root, res.Wirelength
+		root, wirelen, sharded = res.Root, res.Wirelength, res
 		fmt.Printf("stats: %v\n", res.Stats)
 	case "extbst":
-		res, err := core.EXTBST(in, *bound, core.Options{})
+		res, err := shard.Build(in, core.Options{SingleGroup: true, GlobalBound: *bound, Shards: *shards})
 		if err != nil {
 			fatal(err)
 		}
-		root, wirelen = res.Root, res.Wirelength
+		root, wirelen, sharded = res.Root, res.Wirelength, res
 	case "zst":
-		res, err := core.ZST(in, core.Options{})
+		res, err := shard.Build(in, core.Options{SingleGroup: true, Shards: *shards})
 		if err != nil {
 			fatal(err)
 		}
-		root, wirelen = res.Root, res.Wirelength
+		root, wirelen, sharded = res.Root, res.Wirelength, res
 	case "stitch":
 		res, err := stitch.Build(in, stitch.Options{IntraSkewBound: *bound})
 		if err != nil {
@@ -91,6 +109,13 @@ func main() {
 	fmt.Printf("global skew:      %.2f ps\n", rep.GlobalSkew)
 	fmt.Printf("max group skew:   %.2f ps\n", rep.MaxGroupSkew)
 	fmt.Printf("delay range:      %.1f .. %.1f ps\n", rep.MinDelay, rep.MaxDelay)
+	if sharded != nil && len(sharded.Shards) > 0 {
+		fmt.Printf("shards:           %d (stitch wire %.0f)\n", len(sharded.Shards), sharded.StitchWire)
+		for i, si := range sharded.Shards {
+			fmt.Printf("  shard %d:        %d sinks, wire %.0f, scans %d, rebuilds %d\n",
+				i, si.Sinks, si.Wirelength, si.Stats.PairScans, si.Stats.GridRebuilds.Total())
+		}
+	}
 
 	if *svgPath != "" {
 		f, err := os.Create(*svgPath)

@@ -9,9 +9,11 @@
 //
 // The table modes accept -circuit (r1..r5, default r1) and write CSV to
 // stdout. The scale mode routes zero-skew instances of increasing size
-// (-sizes, -dist, -pairer; or -suite for the full LargeSuite, uniform and
-// power-law) and emits a JSON series suitable for tracking the scaling
-// trajectory in BENCH_*.json files across PRs. All modes accept
+// (-sizes, -dist, -pairer, -shards; or -suite for the full LargeSuite,
+// uniform and power-law) and emits a JSON series suitable for tracking the
+// scaling trajectory in BENCH_*.json files across PRs — -out writes it to a
+// file directly (e.g. -out BENCH_scale.json as a CI artifact). Flags that
+// the selected mode would ignore are rejected. All modes accept
 // -cpuprofile/-memprofile for pprof output.
 package main
 
@@ -19,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -30,6 +33,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/profutil"
+	"repro/internal/shard"
 )
 
 // scalePoint is one measurement of the -mode scale series.
@@ -37,6 +41,7 @@ type scalePoint struct {
 	Sinks      int     `json:"sinks"`
 	Dist       string  `json:"dist"`
 	Pairer     string  `json:"pairer"`
+	Shards     int     `json:"shards"`
 	CPUSeconds float64 `json:"cpu_seconds"`
 	Wirelength float64 `json:"wirelength"`
 	PairScans  int64   `json:"pair_scans"`
@@ -46,6 +51,7 @@ type scalePoint struct {
 	RebuildsLiveDrop int `json:"rebuilds_live_drop"`
 	RebuildsClamp    int `json:"rebuilds_edge_clamp"`
 	RebuildsScanRate int `json:"rebuilds_scan_rate"`
+	RebuildsCellWalk int `json:"rebuilds_cell_walk"`
 }
 
 // scaleInstance is one (instance, placement label) pair of the scale series.
@@ -54,7 +60,7 @@ type scaleInstance struct {
 	dist string
 }
 
-func runScale(sizes string, dist string, pairers string, seed int64, suite bool) {
+func runScale(out io.Writer, sizes string, dist string, pairers string, seed int64, suite bool, shards int) {
 	var insts []scaleInstance
 	if suite {
 		// The longitudinal series: every LargeSuite circuit, uniform and
@@ -101,7 +107,9 @@ func runScale(sizes string, dist string, pairers string, seed int64, suite bool)
 		in := si.in
 		for _, pm := range runs {
 			start := time.Now()
-			res, err := core.ZST(in, core.Options{Pairer: modes[pm]})
+			res, err := shard.Build(in, core.Options{
+				SingleGroup: true, Pairer: modes[pm], Shards: shards,
+			})
 			if err != nil {
 				fatal(err)
 			}
@@ -109,18 +117,19 @@ func runScale(sizes string, dist string, pairers string, seed int64, suite bool)
 			rep := eval.Analyze(res.Root, in, core.DefaultModel(), in.Source)
 			rb := res.Stats.GridRebuilds
 			series = append(series, scalePoint{
-				Sinks: len(in.Sinks), Dist: si.dist, Pairer: pm,
+				Sinks: len(in.Sinks), Dist: si.dist, Pairer: pm, Shards: shards,
 				CPUSeconds: elapsed, Wirelength: res.Wirelength,
 				PairScans: res.Stats.PairScans, SkewPs: rep.GlobalSkew,
 				GridRebuilds: rb.Total(), RebuildsLiveDrop: rb.LiveDrop,
 				RebuildsClamp: rb.EdgeClamp, RebuildsScanRate: rb.ScanRate,
+				RebuildsCellWalk: rb.CellWalk,
 			})
-			fmt.Fprintf(os.Stderr, "scale: n=%d dist=%s pairer=%s %.2fs wire=%.0f scans=%d rebuilds=%d/%d/%d\n",
-				len(in.Sinks), si.dist, pm, elapsed, res.Wirelength, res.Stats.PairScans,
-				rb.LiveDrop, rb.EdgeClamp, rb.ScanRate)
+			fmt.Fprintf(os.Stderr, "scale: n=%d dist=%s pairer=%s shards=%d %.2fs wire=%.0f scans=%d rebuilds=%d/%d/%d/%d\n",
+				len(in.Sinks), si.dist, pm, shards, elapsed, res.Wirelength, res.Stats.PairScans,
+				rb.LiveDrop, rb.EdgeClamp, rb.ScanRate, rb.CellWalk)
 		}
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(series); err != nil {
 		fatal(err)
@@ -130,16 +139,57 @@ func runScale(sizes string, dist string, pairers string, seed int64, suite bool)
 func main() {
 	var (
 		mode       = flag.String("mode", "groups", "bound | groups | difficulty | offsetfloat | scale")
-		circuit    = flag.String("circuit", "r1", "suite circuit (r1..r5)")
+		circuit    = flag.String("circuit", "r1", "table modes: suite circuit (r1..r5)")
 		sizes      = flag.String("sizes", "1000,2000,5000,10000", "scale mode: comma-separated sink counts")
 		dist       = flag.String("dist", "uniform", "scale mode: sink placement (uniform | powerlaw)")
 		pairer     = flag.String("pairer", "grid", "scale mode: pairing engine (auto | scan | grid | both)")
 		seed       = flag.Int64("seed", 9, "scale mode: instance seed")
 		suite      = flag.Bool("suite", false, "scale mode: run the LargeSuite circuits (uniform + powerlaw) instead of -sizes/-dist")
+		shards     = flag.Int("shards", 0, "scale mode: spatial shards routed concurrently and stitched (0 = off)")
+		outPath    = flag.String("out", "", "scale mode: write the JSON series to this file instead of stdout, e.g. -out BENCH_scale.json for a CI perf artifact")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	// Flag-combination validation: refuse flags the selected mode would
+	// silently ignore, and contradictory scale configurations.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *mode == "scale" {
+		if set["circuit"] {
+			fatal(fmt.Errorf("-circuit selects a table-mode circuit; scale mode uses -sizes/-dist or -suite"))
+		}
+		if *suite && (set["sizes"] || set["dist"] || set["seed"]) {
+			fatal(fmt.Errorf("-suite runs the spec-pinned LargeSuite; it is mutually exclusive with -sizes/-dist/-seed"))
+		}
+		if *shards > 0 && (*pairer == "scan" || *pairer == "both") {
+			fatal(fmt.Errorf("-shards targets scales where the O(n²) scan oracle is impractical; forcing -pairer %s alongside it is almost certainly unintended — drop one", *pairer))
+		}
+	} else {
+		for _, f := range []string{"sizes", "dist", "pairer", "seed", "suite", "out"} {
+			if set[f] {
+				fatal(fmt.Errorf("-%s applies to -mode scale only (current mode %q)", f, *mode))
+			}
+		}
+		if *shards > 0 { // an explicit -shards 0 is the documented "off" and harmless
+			fatal(fmt.Errorf("-shards applies to -mode scale only (current mode %q)", *mode))
+		}
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		out = f
+	}
 
 	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -148,7 +198,7 @@ func main() {
 	defer stopProf()
 
 	if *mode == "scale" {
-		runScale(*sizes, *dist, *pairer, *seed, *suite)
+		runScale(out, *sizes, *dist, *pairer, *seed, *suite, *shards)
 		return
 	}
 

@@ -169,6 +169,14 @@ type Options struct {
 	// and results are committed serially in batch order (see
 	// builder.runBatch).
 	MergeWorkers int
+	// Shards, when ≥ 1, requests the spatially sharded build: the instance
+	// is cut into Shards sub-instances routed concurrently and stitched
+	// skew-aware at the top (see internal/shard). The sharded pipeline lives
+	// above this package, so Build itself rejects Shards > 1 rather than
+	// silently ignoring it; callers wanting sharding go through shard.Build,
+	// which honors this field (0 = off, 1 = the sharded pipeline with a
+	// single shard — bitwise-identical to the unsharded build).
+	Shards int
 }
 
 // PairConstraint bounds the signed inter-group skew delay(J) − delay(I)
@@ -231,6 +239,17 @@ func (s *Stats) add(d Stats) {
 	s.SneakUnresolved += d.SneakUnresolved
 }
 
+// AddRun accumulates a complete sub-build's stats into s, including the
+// per-run engine metrics (PairScans, GridRebuilds) that the merge workers'
+// per-batch deltas deliberately exclude — sub-builds own their pairing
+// engines. Used by the sharded pipeline (internal/shard) to aggregate shard
+// and stitch runs; keep it in sync with the fields of Stats.
+func (s *Stats) AddRun(d Stats) {
+	s.add(d)
+	s.PairScans += d.PairScans
+	s.GridRebuilds.Add(d.GridRebuilds)
+}
+
 // Result is a completed routing.
 type Result struct {
 	// Instance is the routed instance (with its original groups, even in
@@ -248,11 +267,11 @@ type Result struct {
 	Stats Stats
 }
 
-// Build routes the instance and returns the embedded tree.
-func Build(in *ctree.Instance, opt Options) (*Result, error) {
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
+// normalizeOptions applies defaults and validates the options against the
+// instance. It is shared by Build, BuildSubtree and MergeRoots, and is
+// idempotent, so the sharded pipeline may normalize once and pass the result
+// through every stage.
+func normalizeOptions(in *ctree.Instance, opt *Options) error {
 	if opt.Model == nil {
 		opt.Model = DefaultModel()
 	}
@@ -262,17 +281,20 @@ func Build(in *ctree.Instance, opt Options) (*Result, error) {
 	if opt.SneakCostCap <= 0 {
 		opt.SneakCostCap = 8
 	}
+	if opt.Shards < 0 {
+		return fmt.Errorf("core: Shards = %d is negative", opt.Shards)
+	}
 
 	if opt.GroupOffsets != nil {
 		if opt.SingleGroup {
-			return nil, fmt.Errorf("core: GroupOffsets is incompatible with SingleGroup")
+			return fmt.Errorf("core: GroupOffsets is incompatible with SingleGroup")
 		}
 		if len(opt.GroupOffsets) != in.NumGroups {
-			return nil, fmt.Errorf("core: GroupOffsets has %d entries for %d groups",
+			return fmt.Errorf("core: GroupOffsets has %d entries for %d groups",
 				len(opt.GroupOffsets), in.NumGroups)
 		}
 		if opt.GroupOffsets[0] != 0 {
-			return nil, fmt.Errorf("core: GroupOffsets[0] must be 0 (the reference group)")
+			return fmt.Errorf("core: GroupOffsets[0] must be 0 (the reference group)")
 		}
 	}
 
@@ -281,30 +303,45 @@ func Build(in *ctree.Instance, opt Options) (*Result, error) {
 		// key can drop below the pair distance and the grid's geometric
 		// pruning bound no longer holds — no caller action can make it
 		// sound, so refuse rather than silently return a different tree.
-		return nil, fmt.Errorf("core: PairerGrid is incompatible with DelayTargetBias (biased keys defeat grid pruning); use PairerScan or PairerAuto")
+		return fmt.Errorf("core: PairerGrid is incompatible with DelayTargetBias (biased keys defeat grid pruning); use PairerScan or PairerAuto")
 	}
 
 	for _, pc := range opt.PairConstraints {
 		if pc.I < 0 || pc.I >= in.NumGroups || pc.J < 0 || pc.J >= in.NumGroups || pc.I == pc.J {
-			return nil, fmt.Errorf("core: pair constraint (%d,%d) out of range", pc.I, pc.J)
+			return fmt.Errorf("core: pair constraint (%d,%d) out of range", pc.I, pc.J)
 		}
 		if pc.MinPs > pc.MaxPs {
-			return nil, fmt.Errorf("core: pair constraint (%d,%d) has Min > Max", pc.I, pc.J)
+			return fmt.Errorf("core: pair constraint (%d,%d) has Min > Max", pc.I, pc.J)
 		}
+	}
+	return nil
+}
+
+// Build routes the instance and returns the embedded tree.
+func Build(in *ctree.Instance, opt Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := normalizeOptions(in, &opt); err != nil {
+		return nil, err
+	}
+	if opt.Shards > 1 {
+		// The sharded pipeline lives in internal/shard (it layers the
+		// partitioner and top-level stitch over this package); refusing here
+		// keeps the flag from being silently ignored.
+		return nil, fmt.Errorf("core: Shards = %d requires the sharded builder; call shard.Build (core.Build routes unsharded)", opt.Shards)
 	}
 
-	b := &builder{opt: opt, in: in, uf: newGroupUF(in.NumGroups)}
-	b.initScratch()
-	if opt.GroupOffsets != nil {
-		// Pre-register all offsets relative to group 0: every subsequent
-		// merge of related subtrees enforces the prescribed targets through
-		// the registry leash.
-		for g := 1; g < in.NumGroups; g++ {
-			b.uf.union(0, g, opt.GroupOffsets[g])
-			b.stats.GroupUnions++
-		}
+	reg, err := NewRegistry(in, opt)
+	if err != nil {
+		return nil, err
 	}
-	b.run()
+	b := &builder{opt: opt, in: in, uf: &reg.uf}
+	b.initScratch()
+	b.initSinkNodes(nil)
+	b.route()
+	b.finishRoot()
+	b.stats.GroupUnions += reg.preUnions
 
 	res := &Result{
 		Instance:   in,
@@ -316,6 +353,120 @@ func Build(in *ctree.Instance, opt Options) (*Result, error) {
 	res.Wirelength = b.root.Wirelength() + res.SourceWire
 	res.Root.Embed(geom.ToUV(in.Source))
 	return res, nil
+}
+
+// Registry is a shareable group-offset registry: the committed-offset view
+// (the weighted union-find of the thesis's by-product skews) detached from
+// any one builder, so several sub-instance builds can route against a common
+// base. The sharded pipeline freezes one base Registry during its concurrent
+// phase and hands each shard a private Clone — sharing by frozen snapshot
+// rather than by lock, which keeps the concurrent builds mutex-free and
+// deterministic — then stitches on the base itself.
+type Registry struct {
+	uf groupUF
+	// preUnions counts the prescribed-offset unions applied at construction
+	// (reported once per run in Stats.GroupUnions, not once per shard).
+	preUnions int
+}
+
+// NewRegistry returns a registry over the instance's groups with any
+// prescribed Options.GroupOffsets pre-registered relative to group 0: every
+// subsequent merge of related subtrees enforces the prescribed targets
+// through the registry leash.
+func NewRegistry(in *ctree.Instance, opt Options) (*Registry, error) {
+	if err := normalizeOptions(in, &opt); err != nil {
+		return nil, err
+	}
+	r := &Registry{uf: *newGroupUF(in.NumGroups)}
+	if opt.GroupOffsets != nil {
+		for g := 1; g < in.NumGroups; g++ {
+			r.uf.union(0, g, opt.GroupOffsets[g])
+			r.preUnions++
+		}
+	}
+	return r, nil
+}
+
+// PreUnions reports the prescribed-offset unions applied at construction.
+// Callers aggregating sub-build stats add it exactly once.
+func (r *Registry) PreUnions() int { return r.preUnions }
+
+// Groups returns the number of groups the registry was built over.
+func (r *Registry) Groups() int { return len(r.uf.parent) }
+
+// Clone returns an independent copy of the registry's committed state.
+// Cloning is how concurrent sub-builds share a base view without locks: the
+// base stays frozen while clones mutate privately.
+func (r *Registry) Clone() *Registry {
+	c := &Registry{preUnions: r.preUnions}
+	r.uf.cloneInto(&c.uf)
+	return c
+}
+
+// Subtree is the product of a sub-instance build (BuildSubtree) or a root
+// stitch (MergeRoots): an unembedded subtree plus the stats of the merges
+// that built it. A BuildSubtree root may still be Deferred — its final split
+// is left open so a later MergeRoots can resolve it jointly against its
+// stitch partners instead of pinning it blind.
+type Subtree struct {
+	Root  *ctree.Node
+	Stats Stats
+}
+
+// BuildSubtree routes the sub-instance consisting of the given sink IDs
+// (nil = all sinks) against the supplied registry, using exactly the same
+// merge engine as Build. The caller owns instance validation and the
+// registry's lifecycle; the returned root is not embedded and may be
+// Deferred. Stats.GroupUnions excludes the registry's construction-time
+// prescribed-offset unions (aggregate them once via Registry.PreUnions).
+func BuildSubtree(in *ctree.Instance, sinkIDs []int, opt Options, reg *Registry) (*Subtree, error) {
+	if err := normalizeOptions(in, &opt); err != nil {
+		return nil, err
+	}
+	if reg.Groups() != in.NumGroups {
+		return nil, fmt.Errorf("core: registry over %d groups for instance with %d", reg.Groups(), in.NumGroups)
+	}
+	if sinkIDs != nil && len(sinkIDs) == 0 {
+		return nil, fmt.Errorf("core: BuildSubtree over an empty sink set")
+	}
+	for _, id := range sinkIDs {
+		if id < 0 || id >= len(in.Sinks) {
+			return nil, fmt.Errorf("core: BuildSubtree sink id %d out of range [0, %d)", id, len(in.Sinks))
+		}
+	}
+	b := &builder{opt: opt, in: in, uf: &reg.uf}
+	b.initScratch()
+	b.initSinkNodes(sinkIDs)
+	b.route()
+	return &Subtree{Root: b.root, Stats: b.stats}, nil
+}
+
+// MergeRoots merges pre-built subtree roots into one tree under the full
+// constraint machinery — shared-group windows, the registry leash, joint
+// resolution of deferred roots, and wire sneaking — exactly as intra-build
+// merges are performed, and resolves any final deferred split toward the
+// instance source. This is the skew-aware generalization of the stitch
+// baseline's unconstrained root merging (internal/stitch): where the
+// baseline connects roots at bare distance, MergeRoots keeps enforcing the
+// intra-group bound across the stitched seams. The returned root is not
+// embedded; the roots' subtrees are adopted (and deferred roots committed)
+// in place.
+func MergeRoots(in *ctree.Instance, roots []*ctree.Node, opt Options, reg *Registry) (*Subtree, error) {
+	if err := normalizeOptions(in, &opt); err != nil {
+		return nil, err
+	}
+	if reg.Groups() != in.NumGroups {
+		return nil, fmt.Errorf("core: registry over %d groups for instance with %d", reg.Groups(), in.NumGroups)
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("core: MergeRoots over no roots")
+	}
+	b := &builder{opt: opt, in: in, uf: &reg.uf}
+	b.initScratch()
+	b.initRootNodes(roots)
+	b.route()
+	b.finishRoot()
+	return &Subtree{Root: b.root, Stats: b.stats}, nil
 }
 
 // ZST routes ignoring groups with exact zero global skew (greedy-DME).
@@ -456,8 +607,12 @@ type builder struct {
 	root  *ctree.Node
 	stats Stats
 
-	// arena slab-allocates the 2n−1 tree nodes; b.nodes points into it.
-	arena []ctree.Node
+	// arena slab-allocates the tree nodes this builder constructs; b.nodes
+	// points into it. Sink builds (initSinkNodes) put all 2n−1 nodes here;
+	// root stitches (initRootNodes) only the k−1 internal nodes, with
+	// arenaOff mapping node index to arena slot.
+	arena    []ctree.Node
+	arenaOff int
 
 	// Reusable scratch for the allocation-heavy merge-body helpers. Worker
 	// builders carry their own copies, so merge bodies never share scratch.
@@ -602,10 +757,20 @@ func (b *builder) forConstraints(da, db rctree.DelaySet, shared []int,
 	return true
 }
 
-// initNodes allocates the node arena and initializes the leaf nodes.
-func (b *builder) initNodes() {
+// slot returns the preassigned arena slot of node index id.
+func (b *builder) slot(id int) *ctree.Node { return &b.arena[id-b.arenaOff] }
+
+// initSinkNodes allocates the node arena and initializes the leaf nodes for
+// the given sink IDs (nil = every sink of the instance, in ID order). Leaves
+// keep their original Sink pointers and IDs, so a sub-instance build routes
+// a subset in place — no instance cloning or sink transplanting.
+func (b *builder) initSinkNodes(sinkIDs []int) {
 	n := len(b.in.Sinks)
+	if sinkIDs != nil {
+		n = len(sinkIDs)
+	}
 	b.arena = make([]ctree.Node, 2*n-1)
+	b.arenaOff = 0
 	b.nodes = make([]*ctree.Node, 0, 2*n-1)
 	// Leaves of one group are identical in Groups and Delay ({g: [0,0]}),
 	// and node Group slices / Delay sets are never mutated in place (all
@@ -621,8 +786,12 @@ func (b *builder) initNodes() {
 		}
 		return s.Group
 	}
-	for i := range b.in.Sinks {
-		s := &b.in.Sinks[i]
+	for i := 0; i < n; i++ {
+		id := i
+		if sinkIDs != nil {
+			id = sinkIDs[i]
+		}
+		s := &b.in.Sinks[id]
 		g := leafGroup(s)
 		if groupsIntern[g] == nil {
 			groupsIntern[g] = []int{g}
@@ -641,9 +810,24 @@ func (b *builder) initNodes() {
 	}
 }
 
-func (b *builder) run() {
-	n := len(b.in.Sinks)
-	b.initNodes()
+// initRootNodes adopts pre-built subtree roots as the builder's initial
+// items (the stitch form: MergeRoots); the arena only holds the k−1 internal
+// nodes the stitch will create.
+func (b *builder) initRootNodes(roots []*ctree.Node) {
+	k := len(roots)
+	b.arena = nil
+	if k > 1 {
+		b.arena = make([]ctree.Node, k-1)
+	}
+	b.arenaOff = k
+	b.nodes = append(make([]*ctree.Node, 0, 2*k-1), roots...)
+}
+
+// route runs the merging loop over the builder's initial nodes (set by
+// initSinkNodes or initRootNodes) down to a single root, which may be left
+// Deferred — finishRoot commits it toward the source when the tree is final.
+func (b *builder) route() {
+	n := len(b.nodes)
 	if n == 1 {
 		b.root = b.nodes[0]
 		return
@@ -702,11 +886,17 @@ func (b *builder) run() {
 		b.stats.GridRebuilds = gp.Index().Rebuilds()
 	}
 	b.root = b.nodes[len(b.nodes)-1]
-	if b.root.Deferred {
-		src := geom.OctFromUV(geom.ToUV(b.in.Source))
-		q, _ := geom.ClosestPoints(b.root.DefRegion, src)
-		b.resolve(b.root, geom.DistRP(b.root.Left.Region, q))
+}
+
+// finishRoot pins a still-deferred tree root at the split realizing its
+// closest approach to the clock source.
+func (b *builder) finishRoot() {
+	if !b.root.Deferred {
+		return
 	}
+	src := geom.OctFromUV(geom.ToUV(b.in.Source))
+	q, _ := geom.ClosestPoints(b.root.DefRegion, src)
+	b.resolve(b.root, geom.DistRP(b.root.Left.Region, q))
 }
 
 // minParallelBatch is the batch size below which runBatch stays serial: the
@@ -752,11 +942,11 @@ func (b *builder) runBatch(q *order.Queue, batch []order.Pair) {
 		b.mergeBatchParallel(batch, base, workers)
 	} else {
 		for k, p := range batch {
-			b.merge(b.nodes[p.I], b.nodes[p.J], &b.arena[base+k])
+			b.merge(b.nodes[p.I], b.nodes[p.J], b.slot(base+k))
 		}
 	}
 	for k := range batch {
-		c := &b.arena[base+k]
+		c := b.slot(base + k)
 		c.ID = base + k
 		b.nodes = append(b.nodes, c)
 		q.Merged(c.ID)
@@ -774,7 +964,7 @@ func (b *builder) mergeBatchParallel(batch []order.Pair, base, workers int) {
 	}
 	tasks := b.tasks[:0]
 	for k, p := range batch {
-		t := mergeTask{na: b.nodes[p.I], nb: b.nodes[p.J], out: &b.arena[base+k], wave: true}
+		t := mergeTask{na: b.nodes[p.I], nb: b.nodes[p.J], out: b.slot(base + k), wave: true}
 		if multiRoot {
 			t.wave, t.writer = b.scheduleTask(t.na, t.nb)
 		}
@@ -1503,8 +1693,9 @@ func (b *builder) useGridPairer(n int, userKey bool) bool {
 
 // String summarizes the stats.
 func (s Stats) String() string {
-	return fmt.Sprintf("merges=%d (same=%d cross=%d shared=%d deferred=%d unions=%d) snakes=%d sneaks=%d (+%.0f wire, %d unresolved) scans=%d rebuilds=%d (drop=%d clamp=%d rate=%d)",
+	return fmt.Sprintf("merges=%d (same=%d cross=%d shared=%d deferred=%d unions=%d) snakes=%d sneaks=%d (+%.0f wire, %d unresolved) scans=%d rebuilds=%d (drop=%d clamp=%d rate=%d walk=%d)",
 		s.Merges, s.SameGroup, s.CrossGroup, s.Shared, s.Deferred, s.GroupUnions,
 		s.MergeSnakes, s.SneakEvents, s.SneakWire, s.SneakUnresolved, s.PairScans,
-		s.GridRebuilds.Total(), s.GridRebuilds.LiveDrop, s.GridRebuilds.EdgeClamp, s.GridRebuilds.ScanRate)
+		s.GridRebuilds.Total(), s.GridRebuilds.LiveDrop, s.GridRebuilds.EdgeClamp,
+		s.GridRebuilds.ScanRate, s.GridRebuilds.CellWalk)
 }

@@ -29,7 +29,7 @@ func mergeSequence(in *ctree.Instance, root *ctree.Node) [][2]int {
 func replayMerges(in *ctree.Instance, opt Options, seq [][2]int) *builder {
 	b := &builder{opt: opt, in: in, uf: newGroupUF(in.NumGroups)}
 	b.initScratch()
-	b.initNodes()
+	b.initSinkNodes(nil)
 	base := len(b.nodes)
 	for k, p := range seq {
 		c := &b.arena[base+k]

@@ -1,0 +1,62 @@
+// Package shard routes an instance by spatial decomposition: partition the
+// sinks into k spatially compact shards, route every shard concurrently with
+// the core merge engine, then stitch the shard roots with the same
+// constraint machinery the intra-shard merges use. It is the structural
+// scaling step beyond sub-quadratic pairing and the parallel merge wave —
+// the shape that lets one route fan out across cores today and across
+// machines later (each shard build is self-contained: a sink subset plus a
+// frozen registry snapshot in, a subtree out).
+//
+// # Partition
+//
+// Partition cuts the instance by recursive bisection in uv-space (the
+// 45°-rotated plane all routing geometry lives in): each step splits the
+// current sink set along the longer axis of its uv bounding box at the
+// count quantile matching the shard-count split (area bisection of the
+// occupied extent, count balance of the population), then snaps the cut to
+// the widest placement gap within a small neighborhood of the quantile.
+// spatial.DensityCell supplies the density scale that decides whether a gap
+// is a genuine cluster boundary (gap ≥ the measured cell edge) worth
+// snapping to — on power-law placements the cut then falls between
+// clusters instead of through one, which is what keeps cross-shard wire
+// low. Every shard is non-empty and the partition depends only on the
+// instance and k.
+//
+// # Per-shard builds and the offset registry
+//
+// Sink groups are instance-global and may span shards. Each shard build
+// enforces the intra-group bound over its own sinks; the relative offsets a
+// shard commits between groups are recorded in a private core.Registry
+// cloned from one frozen base (prescribed Options.GroupOffsets included).
+// Sharing by frozen snapshot rather than by lock keeps the concurrent phase
+// mutex-free and the result independent of goroutine scheduling. Offsets
+// committed inside different shards may disagree; reconciliation is the
+// stitch's job.
+//
+// # Stitch
+//
+// The top level routes the k shard roots with core.MergeRoots: the same
+// merge bodies as everywhere else — shared-group skew windows, the
+// registry leash (on the base registry), joint resolution of still-deferred
+// shard roots, and wire sneaking when independently built shards committed
+// contradictory offsets. This generalizes the separate-trees-and-stitch
+// baseline (internal/stitch, after Chen–Kahng–Qu–Zelikovsky): where the
+// baseline stitches per-group trees with unconstrained minimum-distance
+// merges, the shard stitch keeps enforcing the intra-group bound across
+// every seam, so a sharded route meets the same skew contract as an
+// unsharded one. The price is wirelength: shards cannot merge across a cut
+// below the top level, and seams between shards sharing groups may need
+// balancing or snaking wire. The differential tests in this package pin the
+// envelope.
+//
+// # Determinism
+//
+// Shards = 1 is bitwise-identical to the unsharded core.Build: the single
+// "shard" routes the full sink set through exactly the same code path and
+// the stitch is a no-op (the differential test pins wirelength bits and a
+// per-sink delay digest). Shards > 1 is seeded-deterministic: the
+// partition, each shard build, and the stitch order are pure functions of
+// (instance, options, k), so repeated runs agree bit-for-bit at any
+// GOMAXPROCS or worker count — but the routed tree legitimately differs
+// from the unsharded one.
+package shard

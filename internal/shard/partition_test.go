@@ -1,0 +1,80 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/geom"
+)
+
+// TestPartitionCoverageBalanceDeterminism checks the partition contract on
+// uniform and power-law placements: the shards are disjoint, cover every
+// sink, are population-balanced within the gap-snapping window, and two
+// calls agree exactly.
+func TestPartitionCoverageBalanceDeterminism(t *testing.T) {
+	for _, dist := range []string{"uniform", "powerlaw"} {
+		var in = bench.Small(3000, 11)
+		if dist == "powerlaw" {
+			in = bench.PowerLaw(3000, bench.PowerLawClusters, bench.PowerLawAlpha, 11)
+		}
+		for _, k := range []int{1, 2, 3, 4, 8, 13} {
+			label := fmt.Sprintf("%s/k=%d", dist, k)
+			parts := Partition(in, k)
+			if len(parts) != k {
+				t.Fatalf("%s: %d shards", label, len(parts))
+			}
+			seen := make([]bool, len(in.Sinks))
+			for i, p := range parts {
+				if len(p) == 0 {
+					t.Fatalf("%s: shard %d empty", label, i)
+				}
+				// Balance: every bisection step cuts within
+				// ±len/gapWindowFrac of the count quantile, so a shard's
+				// share drifts at most that fraction per level.
+				ideal := float64(len(in.Sinks)) / float64(k)
+				if f := float64(len(p)); f < ideal/2 || f > 2*ideal {
+					t.Errorf("%s: shard %d has %d sinks, ideal %.0f", label, i, len(p), ideal)
+				}
+				for _, id := range p {
+					if seen[id] {
+						t.Fatalf("%s: sink %d in two shards", label, id)
+					}
+					seen[id] = true
+				}
+			}
+			for id, ok := range seen {
+				if !ok {
+					t.Fatalf("%s: sink %d unassigned", label, id)
+				}
+			}
+			if again := Partition(in, k); !reflect.DeepEqual(parts, again) {
+				t.Errorf("%s: partition not deterministic", label)
+			}
+		}
+	}
+}
+
+// TestPartitionSpatiallyCompact sanity-checks that bisection produces
+// spatially separated shards on a trivially separable instance: two distant
+// clusters split at k=2 must land in different shards.
+func TestPartitionSpatiallyCompact(t *testing.T) {
+	in := bench.Small(200, 3)
+	for i := range in.Sinks {
+		if i < 100 {
+			in.Sinks[i].Loc = geom.Point{X: float64(i), Y: float64(i % 10)}
+		} else {
+			in.Sinks[i].Loc = geom.Point{X: 1e6 + float64(i), Y: float64(i % 10)}
+		}
+	}
+	parts := Partition(in, 2)
+	for _, p := range parts {
+		left := in.Sinks[p[0]].Loc.X < 1e5
+		for _, id := range p {
+			if (in.Sinks[id].Loc.X < 1e5) != left {
+				t.Fatalf("shard mixes the two clusters")
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ctree"
+	"repro/internal/geom"
+)
+
+// ShardInfo describes one routed shard of a sharded run.
+type ShardInfo struct {
+	// Sinks is the shard's sink count.
+	Sinks int
+	// Wirelength is the committed wire of the shard's subtree (measured
+	// after the stitch, so a shard root resolved jointly at stitch time is
+	// included).
+	Wirelength float64
+	// Stats are the shard build's run stats (scans, rebuilds, merges, …).
+	Stats core.Stats
+}
+
+// Result is a completed sharded routing. The embedded core.Result carries
+// the stitched tree and the aggregate stats of every shard plus the stitch.
+type Result struct {
+	core.Result
+	// Shards describes each routed shard in partition order; nil when
+	// sharding was off (Options.Shards == 0) and the build was delegated to
+	// core.Build unchanged.
+	Shards []ShardInfo
+	// StitchStats are the top-level stitch's own run stats (also included
+	// in the aggregate).
+	StitchStats core.Stats
+	// StitchWire is the wire committed by the top-level stitch merges: the
+	// total tree wire minus the shard subtrees' wire.
+	StitchWire float64
+}
+
+// Build routes the instance according to opt.Shards: 0 delegates to the
+// unsharded core.Build; k ≥ 1 partitions the instance into k shards, routes
+// them concurrently against private clones of one frozen offset registry,
+// and stitches the shard roots skew-aware with core.MergeRoots. Shards = 1
+// is bitwise-identical to core.Build; Shards > 1 is deterministic for fixed
+// (instance, options) regardless of scheduling (see the package comment).
+func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
+	k := opt.Shards
+	if k <= 0 {
+		res, err := core.Build(in, opt)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Result: *res}, nil
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if k > len(in.Sinks) {
+		return nil, fmt.Errorf("shard: %d shards for %d sinks", k, len(in.Sinks))
+	}
+	if opt.Order.Pairer != nil {
+		return nil, fmt.Errorf("shard: Order.Pairer cannot be shared across concurrent shard builds; leave it nil (each build constructs its own engine)")
+	}
+
+	// The sub-builds and the stitch route unsharded.
+	subOpt := opt
+	subOpt.Shards = 0
+	base, err := core.NewRegistry(in, subOpt)
+	if err != nil {
+		return nil, err
+	}
+
+	parts := Partition(in, k)
+	subs := make([]*core.Subtree, k)
+	regs := make([]*core.Registry, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := range parts {
+		regs[i] = base.Clone() // private view of the frozen base
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			subs[i], errs[i] = core.BuildSubtree(in, parts[i], subOpt, regs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	roots := make([]*ctree.Node, k)
+	for i, s := range subs {
+		roots[i] = s.Root
+	}
+	// The stitch routes against the frozen base: offsets committed inside a
+	// shard are already baked into its root's delay intervals, and the
+	// shards' private registries may disagree — the stitch windows are what
+	// reconcile them. With a single shard there is nothing to reconcile, so
+	// the stitch adopts the shard's own registry, making the whole pipeline
+	// (stats included) exactly the unsharded sequence.
+	topReg := base
+	if k == 1 {
+		topReg = regs[0]
+	}
+	top, err := core.MergeRoots(in, roots, subOpt, topReg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Result: core.Result{
+			Instance: in,
+			Root:     top.Root,
+			Options:  opt,
+		},
+		Shards:      make([]ShardInfo, k),
+		StitchStats: top.Stats,
+	}
+	var agg core.Stats
+	var shardWire float64
+	for i, s := range subs {
+		w := roots[i].Wirelength()
+		res.Shards[i] = ShardInfo{Sinks: len(parts[i]), Wirelength: w, Stats: s.Stats}
+		shardWire += w
+		agg.AddRun(s.Stats)
+	}
+	agg.AddRun(top.Stats)
+	agg.GroupUnions += base.PreUnions()
+	res.Stats = agg
+
+	if k > 1 {
+		// Internal node IDs were assigned per shard (and restart in the
+		// stitch); renumber them densely above the sink IDs so IDs are
+		// unique within the run, as core.Build guarantees. Shards = 1 takes
+		// the unsharded numbering as-is, preserving bitwise identity.
+		next := len(in.Sinks)
+		top.Root.Visit(func(n *ctree.Node) {
+			if !n.IsLeaf() {
+				n.ID = next
+				next++
+			}
+		})
+	}
+
+	treeWire := top.Root.Wirelength()
+	res.SourceWire = geom.DistRP(top.Root.Region, geom.ToUV(in.Source))
+	res.Wirelength = treeWire + res.SourceWire
+	res.StitchWire = treeWire - shardWire
+	res.Root.Embed(geom.ToUV(in.Source))
+	return res, nil
+}

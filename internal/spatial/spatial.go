@@ -124,17 +124,56 @@ const (
 	scanRateCap   = 96
 	// cellTrimMin bounds the persistent cell-estimate trim.
 	cellTrimMin = 0.25
+
+	// Cell-walk (un-trim) policy: the scan counter only sees candidate
+	// evaluations, so it is blind to the cost of an over-fine grid — rings
+	// of empty cells walked per query. The cell-walk trigger watches that
+	// cost directly (cells visited per query, same baseline/window cadence
+	// as the scan trigger) and, when it fires on a trimmed grid, doubles
+	// cellTrim back toward 1 and re-cells: the trim that once paid for
+	// itself (fat clusters) can turn persistently over-fine as the live set
+	// thins and regions fatten. The trigger is armed only while
+	// cellTrim < 1 — an untrimmed grid walking many cells means DensityCell
+	// itself chose that cell, and doubling past its estimate is not this
+	// trigger's business. cellWalkFloor is the minimum cells/query worth
+	// reacting to (a well-celled query walks ~9-25); cellWalkCap is the
+	// absolute arm applied to the baseline chunk itself, mirroring
+	// scanRateCap (a static over-fine grid never drifts 3× beyond its own
+	// baseline, so only the absolute arm can catch it).
+	cellWalkFloor = 64
+	cellWalkCap   = 256
+)
+
+// rateSignal classifies the query-rate trigger's verdict.
+type rateSignal int
+
+const (
+	rateNone   rateSignal = iota
+	rateCoarse            // candidate scans/query degraded: cell too coarse
+	rateFine              // cells walked/query degraded on a trimmed grid: cell too fine
 )
 
 // RebuildStats counts index rebuilds by trigger: the live count halving
-// (LiveDrop), too many items clamped at the window edge (EdgeClamp), and the
-// rolling scan rate exceeding the post-rebuild baseline (ScanRate).
+// (LiveDrop), too many items clamped at the window edge (EdgeClamp), the
+// rolling candidate-scan rate exceeding the post-rebuild baseline
+// (ScanRate: cell too coarse, trim halved), and the rolling cells-walked
+// rate exceeding it on a trimmed grid (CellWalk: cell too fine, trim
+// doubled back toward 1).
 type RebuildStats struct {
-	LiveDrop, EdgeClamp, ScanRate int
+	LiveDrop, EdgeClamp, ScanRate, CellWalk int
 }
 
 // Total returns the total rebuild count.
-func (r RebuildStats) Total() int { return r.LiveDrop + r.EdgeClamp + r.ScanRate }
+func (r RebuildStats) Total() int { return r.LiveDrop + r.EdgeClamp + r.ScanRate + r.CellWalk }
+
+// Add accumulates another index's rebuild counts (aggregation across the
+// per-shard indices of a sharded run).
+func (r *RebuildStats) Add(o RebuildStats) {
+	r.LiveDrop += o.LiveDrop
+	r.EdgeClamp += o.EdgeClamp
+	r.ScanRate += o.ScanRate
+	r.CellWalk += o.CellWalk
+}
 
 // spanState tracks how an item relates to the bucket array.
 type spanState uint8
@@ -183,16 +222,17 @@ type Index struct {
 	clamped   int // live inserts clamped at the window edge since last build
 	peakLive  int // max live count since last rebuild (re-cell trigger)
 
-	// Scan-rate trigger state (single-writer; the cumulative counters it
+	// Query-rate trigger state (single-writer; the cumulative counters it
 	// reads are atomics, but they are only inspected between mutations,
 	// after all concurrent queries have completed, so every decision is
-	// deterministic). buildQueries/buildScans snapshot the cumulative
-	// counters at the last rebuild; baseRate is the post-rebuild baseline
-	// scans/query (0 while still being established); ckQueries/ckScans
-	// checkpoint the rolling window.
-	buildQueries, buildScans int64
-	baseRate                 float64
-	ckQueries, ckScans       int64
+	// deterministic). buildQueries/buildScans/buildCells snapshot the
+	// cumulative counters at the last rebuild; baseRate and baseCellRate
+	// are the post-rebuild baselines (scans/query and cells-walked/query;
+	// 0 while still being established); ckQueries/ckScans/ckCells
+	// checkpoint the rolling window shared by both directions.
+	buildQueries, buildScans, buildCells int64
+	baseRate, baseCellRate               float64
+	ckQueries, ckScans, ckCells          int64
 	// cellTrim scales every DensityCell estimate; scan-rate rebuilds halve
 	// it (down to cellTrimMin) when the measured rate says the estimate
 	// runs too coarse for this instance. 0 means 1 (never trimmed).
@@ -211,8 +251,9 @@ type Index struct {
 	// with their chunk.
 	entrySlab []int32
 
-	scans   atomic.Int64
-	queries atomic.Int64 // Nearest/NearestScored calls (scan-rate trigger)
+	scans       atomic.Int64
+	queries     atomic.Int64 // Nearest/NearestScored/KNearest calls (rate triggers)
+	cellsWalked atomic.Int64 // grid cells visited across all queries (cell-walk trigger)
 }
 
 // New returns an empty index with the given cell edge (≤ 0 selects 1). The
@@ -561,62 +602,90 @@ func (x *Index) maybeRebuild() {
 	case x.clamped > clampSlack && 8*x.clamped > x.n:
 		x.rebuilds.EdgeClamp++
 		x.rebuild(false)
-	case x.scanRateExceeded():
-		x.rebuilds.ScanRate++
-		if x.cellTrim == 0 {
-			x.cellTrim = 1
+	default:
+		switch x.rateTrigger() {
+		case rateCoarse:
+			x.rebuilds.ScanRate++
+			if x.cellTrim == 0 {
+				x.cellTrim = 1
+			}
+			if x.cellTrim > cellTrimMin {
+				x.cellTrim /= 2
+			}
+			x.rebuild(true)
+		case rateFine:
+			x.rebuilds.CellWalk++
+			if x.cellTrim *= 2; x.cellTrim > 1 {
+				x.cellTrim = 1
+			}
+			x.rebuild(true)
+		default:
+			if x.deadFiled > x.liveFiled+purgeSlack {
+				x.purge()
+			}
 		}
-		if x.cellTrim > cellTrimMin {
-			x.cellTrim /= 2
-		}
-		x.rebuild(true)
-	case x.deadFiled > x.liveFiled+purgeSlack:
-		x.purge()
 	}
 }
 
-// scanRateExceeded implements the scan-rate rebuild trigger: it establishes
-// a baseline scans/query over the first scanBaselineQueries queries after a
-// rebuild, then compares each subsequent scanRateWindow-query window's mean
-// against scanRateFactor times that baseline, with the firing threshold
-// clamped into [scanRateFloor, scanRateCap] (see the policy constants).
-// Advancing the baseline and window checkpoints mutates single-writer
-// state, so this must only be called from the mutating goroutine
-// (maybeRebuild).
-func (x *Index) scanRateExceeded() bool {
+// rateTrigger implements the bidirectional query-rate rebuild trigger. It
+// establishes baselines — candidate scans/query and cells-walked/query —
+// over the first scanBaselineQueries queries after a rebuild, then compares
+// each subsequent scanRateWindow-query window's means against
+// scanRateFactor times the baselines. The scan direction (cell too coarse)
+// has its firing threshold clamped into [scanRateFloor, scanRateCap]; the
+// cell-walk direction (cell too fine) fires only on a trimmed grid, above
+// max(factor × baseline, cellWalkFloor), with the absolute cellWalkCap arm
+// on the baseline chunk (see the policy constants). The coarse direction
+// takes priority when both would fire. Advancing the baseline and window
+// checkpoints mutates single-writer state, so this must only be called from
+// the mutating goroutine (maybeRebuild).
+func (x *Index) rateTrigger() rateSignal {
 	if x.n < recellMinLive {
-		return false
+		return rateNone
 	}
-	qs, ss := x.queries.Load(), x.scans.Load()
+	qs, ss, cs := x.queries.Load(), x.scans.Load(), x.cellsWalked.Load()
 	// Once the trim is floored, a rebuild cannot make the cell any finer:
 	// the absolute arm is withdrawn (otherwise an instance whose intrinsic
 	// rate exceeds the cap at every cell size would trip a futile O(n)
 	// rebuild after every baseline window for the rest of the run), and
 	// only genuine drift beyond the measured baseline can still fire.
+	// Symmetrically, the fine direction is armed only while a trim is in
+	// effect — undoing the trim is all it is allowed to do.
 	trimFloored := x.cellTrim > 0 && x.cellTrim <= cellTrimMin
+	trimmed := x.cellTrim > 0 && x.cellTrim < 1
 	if x.baseRate == 0 {
 		if dq := qs - x.buildQueries; dq >= scanBaselineQueries {
 			x.baseRate = float64(ss-x.buildScans) / float64(dq)
 			if x.baseRate < 1 {
 				x.baseRate = 1 // degenerate windows: avoid a zero baseline
 			}
-			x.ckQueries, x.ckScans = qs, ss
-			// The absolute arm applies to the baseline chunk itself: the
+			x.baseCellRate = float64(cs-x.buildCells) / float64(dq)
+			if x.baseCellRate < 1 {
+				x.baseCellRate = 1
+			}
+			x.ckQueries, x.ckScans, x.ckCells = qs, ss, cs
+			// The absolute arms apply to the baseline chunk itself: the
 			// router's queries arrive in one burst per merge round, and
 			// population-triggered rebuilds can recur before a second
 			// burst — if the first post-rebuild burst already runs beyond
-			// the cap, waiting for a window to confirm it means never
+			// a cap, waiting for a window to confirm it means never
 			// firing at all.
-			return x.baseRate > scanRateCap && !trimFloored
+			if x.baseRate > scanRateCap && !trimFloored {
+				return rateCoarse
+			}
+			if trimmed && x.baseCellRate > cellWalkCap {
+				return rateFine
+			}
 		}
-		return false
+		return rateNone
 	}
 	dq := qs - x.ckQueries
 	if dq < scanRateWindow {
-		return false
+		return rateNone
 	}
-	rate := float64(ss-x.ckScans) / float64(dq)
-	x.ckQueries, x.ckScans = qs, ss
+	scanRate := float64(ss-x.ckScans) / float64(dq)
+	cellRate := float64(cs-x.ckCells) / float64(dq)
+	x.ckQueries, x.ckScans, x.ckCells = qs, ss, cs
 	threshold := scanRateFactor * x.baseRate
 	if threshold < scanRateFloor {
 		threshold = scanRateFloor
@@ -624,7 +693,17 @@ func (x *Index) scanRateExceeded() bool {
 	if threshold > scanRateCap && !trimFloored {
 		threshold = scanRateCap
 	}
-	return rate > threshold
+	if scanRate > threshold {
+		return rateCoarse
+	}
+	cellThreshold := scanRateFactor * x.baseCellRate
+	if cellThreshold < cellWalkFloor {
+		cellThreshold = cellWalkFloor
+	}
+	if trimmed && cellRate > cellThreshold {
+		return rateFine
+	}
+	return rateNone
 }
 
 // purge sweeps tombstoned entries out of every bucket. Cost is one pass
@@ -666,9 +745,10 @@ func (x *Index) rebuild(recell bool) {
 	x.over = x.over[:0]
 	x.liveFiled, x.deadFiled, x.clamped = 0, 0, 0
 	x.peakLive = x.n
-	// Restart the scan-rate trigger: new window, new cell, new baseline.
-	x.buildQueries, x.buildScans = x.queries.Load(), x.scans.Load()
+	// Restart the query-rate triggers: new window, new cell, new baselines.
+	x.buildQueries, x.buildScans, x.buildCells = x.queries.Load(), x.scans.Load(), x.cellsWalked.Load()
 	x.baseRate, x.ckQueries, x.ckScans = 0, 0, 0
+	x.baseCellRate, x.ckCells = 0, 0
 	if len(live) == 0 {
 		x.w, x.h, x.cells = 0, 0, nil
 		return
@@ -752,7 +832,7 @@ func (x *Index) NearestScored(self int, k Keyer) (best int, bestKey float64, ok 
 	q := x.boxes[self]
 	best, bestKey = -1, math.Inf(1)
 	x.queries.Add(1)
-	var scans int64
+	var scans, cells int64
 	for _, id32 := range x.over {
 		id := int(id32)
 		if id == self {
@@ -785,6 +865,7 @@ func (x *Index) NearestScored(self int, k Keyer) (best int, bestKey float64, ok 
 				for cv := st[2]; cv <= st[3]; cv++ {
 					row := cv * x.w
 					for cu := st[0]; cu <= st[1]; cu++ {
+						cells++
 						for _, id32 := range x.cells[row+cu] {
 							id := int(id32)
 							if id == self || x.spans[id].state != spanLive {
@@ -804,6 +885,7 @@ func (x *Index) NearestScored(self int, k Keyer) (best int, bestKey float64, ok 
 		}
 	}
 	x.scans.Add(scans)
+	x.cellsWalked.Add(cells)
 	if best < 0 {
 		return -1, 0, false
 	}
@@ -870,7 +952,7 @@ func (x *Index) ringStrips(strips *[4][4]int32, u0, u1, v0, v1, r int32) int {
 func (x *Index) Nearest(q geom.Rect, skip func(int) bool, key func(id int) float64) (best int, bestKey float64, ok bool) {
 	best, bestKey = -1, math.Inf(1)
 	x.queries.Add(1)
-	var scans int64
+	var scans, cells int64
 	consider := func(id32 int32) {
 		id := int(id32)
 		if x.spans[id].state != spanLive {
@@ -906,6 +988,7 @@ func (x *Index) Nearest(q geom.Rect, skip func(int) bool, key func(id int) float
 				for cv := st[2]; cv <= st[3]; cv++ {
 					row := cv * x.w
 					for cu := st[0]; cu <= st[1]; cu++ {
+						cells++
 						for _, id := range x.cells[row+cu] {
 							consider(id)
 						}
@@ -918,6 +1001,7 @@ func (x *Index) Nearest(q geom.Rect, skip func(int) bool, key func(id int) float
 		}
 	}
 	x.scans.Add(scans)
+	x.cellsWalked.Add(cells)
 	if best < 0 {
 		return -1, 0, false
 	}
@@ -979,7 +1063,7 @@ func (x *Index) KNearest(q geom.Rect, k int, skip func(int) bool) []int {
 		}
 	}
 	seen := make(map[int]bool)
-	var scans int64
+	var scans, cells int64
 	consider := func(id32 int32) {
 		id := int(id32)
 		if x.spans[id].state != spanLive {
@@ -1020,6 +1104,7 @@ func (x *Index) KNearest(q geom.Rect, k int, skip func(int) bool) []int {
 				for cv := st[2]; cv <= st[3]; cv++ {
 					row := cv * x.w
 					for cu := st[0]; cu <= st[1]; cu++ {
+						cells++
 						for _, id := range x.cells[row+cu] {
 							consider(id)
 						}
@@ -1032,6 +1117,7 @@ func (x *Index) KNearest(q geom.Rect, k int, skip func(int) bool) []int {
 		}
 	}
 	x.scans.Add(scans)
+	x.cellsWalked.Add(cells)
 	// Heap-sort ascending.
 	out := make([]int, len(heapC))
 	for i := len(heapC) - 1; i >= 0; i-- {

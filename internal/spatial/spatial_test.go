@@ -385,6 +385,90 @@ func TestScanRateRebuildFiresOnFatBuckets(t *testing.T) {
 	query() // exactness preserved across the re-cell
 }
 
+// TestCellWalkRebuildUndoesOverFineTrim drives the opposite direction of the
+// query-rate trigger: a trimmed index whose cell is far too fine for the
+// live population walks rings of empty cells on every query. The first
+// mutation after the baseline burst must un-trim (double cellTrim) and
+// re-cell coarser, classified as a CellWalk rebuild, with results exact
+// throughout.
+func TestCellWalkRebuildUndoesOverFineTrim(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 200
+	boxes := make([]geom.Rect, n)
+	live := make([]bool, n)
+	// Point items spread over 200×200 with a 0.5 cell: mean spacing ~14, so
+	// every nearest-neighbor query walks hundreds of near-empty cells.
+	x := New(0.5)
+	x.cellTrim = 0.25 // as if scan-rate rebuilds had trimmed a past estimate
+	for i := range boxes {
+		u, v := r.Float64()*200, r.Float64()*200
+		boxes[i] = geom.Rect{ULo: u, UHi: u, VLo: v, VHi: v}
+		live[i] = true
+		x.Insert(i, boxes[i])
+	}
+	fine := x.Cell()
+	query := func() {
+		for i := 0; i < n; i++ {
+			if !live[i] {
+				continue
+			}
+			skip := func(j int) bool { return j == i }
+			wantJ, wantD := bruteNearest(boxes, live, boxes[i], skip)
+			gotJ, gotD, ok := x.Nearest(boxes[i], skip, func(j int) float64 {
+				return geom.DistRR(boxes[i], boxes[j])
+			})
+			if !ok || gotJ != wantJ || gotD != wantD {
+				t.Fatalf("item %d: got (%d, %v), want (%d, %v)", i, gotJ, gotD, wantJ, wantD)
+			}
+		}
+	}
+	query() // baseline burst: cells-walked/query far beyond cellWalkCap
+	x.Delete(0)
+	live[0] = false // mutation: maybeRebuild sees the over-fine rate
+	rb := x.Rebuilds()
+	if rb.CellWalk != 1 {
+		t.Fatalf("cell-walk rebuilds = %d (stats %+v), want 1", rb.CellWalk, rb)
+	}
+	if x.cellTrim != 0.5 {
+		t.Fatalf("cellTrim = %v after un-trim, want 0.5", x.cellTrim)
+	}
+	if x.Cell() <= fine {
+		t.Fatalf("cell %v not coarsened above the over-fine %v", x.Cell(), fine)
+	}
+	if rb.Total() != rb.LiveDrop+rb.EdgeClamp+rb.ScanRate+rb.CellWalk {
+		t.Fatalf("Total inconsistent: %+v", rb)
+	}
+	query() // exactness preserved across the re-cell
+}
+
+// TestCellWalkRebuildRequiresTrim pins the arming rule: the same over-fine
+// walking pattern on an UNtrimmed index must not fire the cell-walk trigger
+// — an untrimmed cell is DensityCell's own estimate, and undoing the trim is
+// all the trigger is allowed to do.
+func TestCellWalkRebuildRequiresTrim(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 200
+	x := New(0.5) // cellTrim stays 0 (never trimmed)
+	boxes := make([]geom.Rect, n)
+	live := make([]bool, n)
+	for i := range boxes {
+		u, v := r.Float64()*200, r.Float64()*200
+		boxes[i] = geom.Rect{ULo: u, UHi: u, VLo: v, VHi: v}
+		live[i] = true
+		x.Insert(i, boxes[i])
+	}
+	for i := 0; i < n; i++ {
+		skip := func(j int) bool { return j == i }
+		x.Nearest(boxes[i], skip, func(j int) float64 {
+			return geom.DistRR(boxes[i], boxes[j])
+		})
+	}
+	x.Delete(0)
+	if rb := x.Rebuilds(); rb.CellWalk != 0 {
+		t.Fatalf("cell-walk rebuild fired on an untrimmed index: %+v", rb)
+	}
+}
+
 // TestRebuildStatsCountLiveDrop pins the trigger classification of the
 // population-schedule rebuild.
 func TestRebuildStatsCountLiveDrop(t *testing.T) {

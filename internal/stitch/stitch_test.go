@@ -1,6 +1,7 @@
 package stitch
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/bench"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/ctree"
 	"repro/internal/eval"
 	"repro/internal/geom"
+	"repro/internal/shard"
 )
 
 func TestStitchZeroIntraGroupSkew(t *testing.T) {
@@ -93,6 +95,75 @@ func TestStitchFig2Shape(t *testing.T) {
 		t.Errorf("Fig.2 saving = %.1f%%, want ≥ 20%%", saving*100)
 	}
 	t.Logf("Fig.2: stitch=%v ast=%v saving=%.1f%%", st.Wirelength, ast.Wirelength, saving*100)
+}
+
+// TestStitchGridPairedLargeInstance exercises the stitch baseline at a
+// scale where each per-group build crosses core.GridPairerThreshold, so the
+// per-group trees route through the spatial grid pairer rather than the
+// all-pairs scan the small tests use: tree structure, per-group zero skew
+// and the wire accounting must all survive the engine switch.
+func TestStitchGridPairedLargeInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	in := bench.Intermingled(bench.Small(5000, 31), 2, 77) // 2500 sinks/group ≥ threshold
+	res, err := Build(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eval.CheckTree(res.Root, in); err != nil {
+		t.Fatalf("CheckTree: %v", err)
+	}
+	rep := res.Analyze(nil)
+	if rep.Sinks != len(in.Sinks) {
+		t.Fatalf("reached %d sinks", rep.Sinks)
+	}
+	if rep.MaxGroupSkew > 1e-6*(1+rep.MaxDelay) {
+		t.Errorf("intra-group skew %v on grid-paired per-group trees", rep.MaxGroupSkew)
+	}
+	var groupsWire float64
+	for _, wlen := range res.GroupWire {
+		groupsWire += wlen
+	}
+	if diff := math.Abs(res.Wirelength - groupsWire - res.StitchWire); diff > 1e-6*res.Wirelength {
+		t.Errorf("wire accounting: total %v vs groups %v + stitch %v", res.Wirelength, groupsWire, res.StitchWire)
+	}
+}
+
+// TestStitchAgreesWithShardTopLevel is the regression pinning the stitch
+// baseline and the sharded pipeline's top-level merge to the same result
+// where their contracts coincide: on a single-group instance the stitch
+// builds one ZST tree and stitches nothing, and shard.Build with one shard
+// routes the same tree through core's stitch machinery — wirelength and the
+// per-sink delays must agree bitwise with each other and with core.ZST.
+func TestStitchAgreesWithShardTopLevel(t *testing.T) {
+	in := bench.Small(3000, 13) // one group, above the grid-pairer threshold
+	st, err := Build(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := shard.Build(in, core.Options{SingleGroup: true, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zst, err := core.ZST(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw, zw := math.Float64bits(st.Wirelength), math.Float64bits(zst.Wirelength); sw != zw {
+		t.Errorf("stitch wirelength bits 0x%016x != ZST 0x%016x", sw, zw)
+	}
+	if hw, zw := math.Float64bits(sh.Wirelength), math.Float64bits(zst.Wirelength); hw != zw {
+		t.Errorf("shard top-level wirelength bits 0x%016x != ZST 0x%016x", hw, zw)
+	}
+	m := core.DefaultModel()
+	stDelays := eval.Analyze(st.Root, in, m, in.Source).SinkDelay
+	shDelays := eval.Analyze(sh.Root, in, m, in.Source).SinkDelay
+	for i := range stDelays {
+		if stDelays[i] != shDelays[i] {
+			t.Fatalf("sink %d delay: stitch %v != shard %v", i, stDelays[i], shDelays[i])
+		}
+	}
 }
 
 func TestStitchSingleGroupEqualsZST(t *testing.T) {
