@@ -8,6 +8,7 @@
 //	astdme -algo zst     -in inst.json            # greedy-DME zero skew
 //	astdme -algo stitch  -in inst.json            # per-group trees + stitch
 //	astdme -algo zst -shards 4 -in inst.json      # sharded routing (internal/shard)
+//	astdme -algo ast -shards 4 -pilot -in i.json  # sharded + pilot offset pass
 //	astdme -algo ast -svg out.svg -in inst.json   # also render the tree
 package main
 
@@ -32,6 +33,7 @@ func main() {
 		algo       = flag.String("algo", "ast", "algorithm: ast | extbst | zst | stitch")
 		bound      = flag.Float64("bound", 10, "skew bound in ps (extbst: global; ast: intra-group)")
 		shards     = flag.Int("shards", 0, "spatial shards routed concurrently and stitched (0 = off; ast/extbst/zst only)")
+		pilot      = flag.Bool("pilot", false, "pilot offset pass: pre-commit the inter-group offset contract and prescribe it to every shard (ast with -shards only)")
 		svgPath    = flag.String("svg", "", "write an SVG rendering of the embedded tree")
 		regions    = flag.Bool("regions", false, "draw merging regions in the SVG (requires -svg)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -55,6 +57,14 @@ func main() {
 	if set["bound"] && *algo == "zst" {
 		fatal(fmt.Errorf("-bound is meaningless for zst (exact zero skew); drop it or use -algo extbst"))
 	}
+	if *pilot {
+		if *algo != "ast" {
+			fatal(fmt.Errorf("-pilot aligns inter-group offsets across shards and requires -algo ast (%s has no groups to align)", *algo))
+		}
+		if *shards == 0 {
+			fatal(fmt.Errorf("-pilot requires -shards ≥ 1 (the pilot pass exists to align shard builds)"))
+		}
+	}
 
 	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -65,13 +75,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *pilot && in.NumGroups < 2 {
+		// shard.Build would skip the pass (nothing to prescribe); refuse the
+		// silently ignored flag like every other contradictory combination.
+		fatal(fmt.Errorf("-pilot prescribes inter-group offsets, but %s has a single group; drop -pilot", in.Name))
+	}
 
 	var root *ctree.Node
 	var wirelen float64
 	var sharded *shard.Result
 	switch *algo {
 	case "ast":
-		res, err := shard.Build(in, core.Options{IntraSkewBound: *bound, Shards: *shards})
+		res, err := shard.Build(in, core.Options{IntraSkewBound: *bound, Shards: *shards, Pilot: *pilot})
 		if err != nil {
 			fatal(err)
 		}
@@ -111,6 +126,20 @@ func main() {
 	fmt.Printf("delay range:      %.1f .. %.1f ps\n", rep.MinDelay, rep.MaxDelay)
 	if sharded != nil && len(sharded.Shards) > 0 {
 		fmt.Printf("shards:           %d (stitch wire %.0f)\n", len(sharded.Shards), sharded.StitchWire)
+		// Seam skew is the grouped sharded-quality metric; single-group
+		// modes (zst/extbst) never promise it, so reporting it there would
+		// present a meaningless regression.
+		if *algo == "ast" && len(sharded.Parts) > 1 && in.NumGroups > 1 {
+			_, seam := eval.SeamSkew(rep, in, sharded.Parts)
+			fmt.Printf("seam group skew:  %.2f ps\n", seam)
+		}
+		if sharded.PilotSinks > 0 {
+			fmt.Printf("pilot:            %d sinks routed, %d scans, offsets", sharded.PilotSinks, sharded.PilotStats.PairScans)
+			for _, o := range sharded.PilotOffsets {
+				fmt.Printf(" %.2f", o)
+			}
+			fmt.Println()
+		}
 		for i, si := range sharded.Shards {
 			fmt.Printf("  shard %d:        %d sinks, wire %.0f, scans %d, rebuilds %d\n",
 				i, si.Sinks, si.Wirelength, si.Stats.PairScans, si.Stats.GridRebuilds.Total())

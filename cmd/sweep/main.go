@@ -12,9 +12,13 @@
 // (-sizes, -dist, -pairer, -shards; or -suite for the full LargeSuite,
 // uniform and power-law) and emits a JSON series suitable for tracking the
 // scaling trajectory in BENCH_*.json files across PRs — -out writes it to a
-// file directly (e.g. -out BENCH_scale.json as a CI artifact). Flags that
-// the selected mode would ignore are rejected. All modes accept
-// -cpuprofile/-memprofile for pprof output.
+// file directly (e.g. -out BENCH_scale.json as a CI artifact). -groups k
+// additionally routes an intermingled k-group AST-DME variant of every
+// instance (optionally piloted with -pilot), appending points that carry
+// the grouped sharded quality metrics — intra-group skew, residual seam
+// skew, pilot cost — to the same series, so the artifact tracks them
+// longitudinally. Flags that the selected mode would ignore are rejected.
+// All modes accept -cpuprofile/-memprofile for pprof output.
 package main
 
 import (
@@ -52,6 +56,16 @@ type scalePoint struct {
 	RebuildsClamp    int `json:"rebuilds_edge_clamp"`
 	RebuildsScanRate int `json:"rebuilds_scan_rate"`
 	RebuildsCellWalk int `json:"rebuilds_cell_walk"`
+	// Grouped-variant fields (-groups): the AST-DME run's group count, the
+	// measured intra-group skew, the residual intra-group skew across shard
+	// seams (the sharded-quality metric the pilot pass drives to zero), and
+	// the pilot pass's cost. All zero on single-group points.
+	Groups      int     `json:"groups,omitempty"`
+	Pilot       bool    `json:"pilot,omitempty"`
+	GroupSkewPs float64 `json:"group_skew_ps,omitempty"`
+	SeamSkewPs  float64 `json:"seam_skew_ps,omitempty"`
+	PilotSinks  int     `json:"pilot_sinks,omitempty"`
+	PilotScans  int64   `json:"pilot_scans,omitempty"`
 }
 
 // scaleInstance is one (instance, placement label) pair of the scale series.
@@ -60,7 +74,7 @@ type scaleInstance struct {
 	dist string
 }
 
-func runScale(out io.Writer, sizes string, dist string, pairers string, seed int64, suite bool, shards int) {
+func runScale(out io.Writer, sizes string, dist string, pairers string, seed int64, suite bool, shards, groups int, pilot bool) {
 	var insts []scaleInstance
 	if suite {
 		// The longitudinal series: every LargeSuite circuit, uniform and
@@ -102,31 +116,57 @@ func runScale(out io.Writer, sizes string, dist string, pairers string, seed int
 		}
 		runs = []string{pairers}
 	}
+	// measure routes one configuration and appends its scalePoint: the
+	// single code path constructing points keeps the single-group series and
+	// the grouped variant's fields in lockstep.
 	var series []scalePoint
+	measure := func(in *ctree.Instance, dist, pm string, opt core.Options) {
+		start := time.Now()
+		res, err := shard.Build(in, opt)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start).Seconds()
+		rep := eval.Analyze(res.Root, in, core.DefaultModel(), in.Source)
+		rb := res.Stats.GridRebuilds
+		pt := scalePoint{
+			Sinks: len(in.Sinks), Dist: dist, Pairer: pm, Shards: opt.Shards,
+			CPUSeconds: elapsed, Wirelength: res.Wirelength,
+			PairScans: res.Stats.PairScans, SkewPs: rep.GlobalSkew,
+			GridRebuilds: rb.Total(), RebuildsLiveDrop: rb.LiveDrop,
+			RebuildsClamp: rb.EdgeClamp, RebuildsScanRate: rb.ScanRate,
+			RebuildsCellWalk: rb.CellWalk,
+		}
+		if !opt.SingleGroup {
+			pt.Groups, pt.Pilot = in.NumGroups, opt.Pilot
+			pt.GroupSkewPs = rep.MaxGroupSkew
+			if len(res.Parts) > 1 {
+				_, pt.SeamSkewPs = eval.SeamSkew(rep, in, res.Parts)
+			}
+			pt.PilotSinks, pt.PilotScans = res.PilotSinks, res.PilotStats.PairScans
+		}
+		series = append(series, pt)
+		fmt.Fprintf(os.Stderr, "scale: n=%d dist=%s pairer=%s shards=%d groups=%d pilot=%v %.2fs wire=%.0f scans=%d rebuilds=%d/%d/%d/%d seam=%.3f pilot_sinks=%d\n",
+			len(in.Sinks), dist, pm, opt.Shards, pt.Groups, pt.Pilot, elapsed, res.Wirelength,
+			res.Stats.PairScans, rb.LiveDrop, rb.EdgeClamp, rb.ScanRate, rb.CellWalk,
+			pt.SeamSkewPs, pt.PilotSinks)
+	}
 	for _, si := range insts {
-		in := si.in
 		for _, pm := range runs {
-			start := time.Now()
-			res, err := shard.Build(in, core.Options{
+			measure(si.in, si.dist, pm, core.Options{
 				SingleGroup: true, Pairer: modes[pm], Shards: shards,
 			})
-			if err != nil {
-				fatal(err)
+			if groups > 1 {
+				// The grouped variant: the same circuit under an intermingled
+				// k-group structure, routed zero-bound AST-DME with the same
+				// pairer/shard configuration (optionally piloted), so the
+				// longitudinal artifact tracks grouped sharded quality — seam
+				// skew and pilot cost — next to the single-group series.
+				gin := bench.Intermingled(si.in, groups, seed*1000+int64(groups))
+				measure(gin, si.dist, pm, core.Options{
+					Pairer: modes[pm], Shards: shards, Pilot: pilot,
+				})
 			}
-			elapsed := time.Since(start).Seconds()
-			rep := eval.Analyze(res.Root, in, core.DefaultModel(), in.Source)
-			rb := res.Stats.GridRebuilds
-			series = append(series, scalePoint{
-				Sinks: len(in.Sinks), Dist: si.dist, Pairer: pm, Shards: shards,
-				CPUSeconds: elapsed, Wirelength: res.Wirelength,
-				PairScans: res.Stats.PairScans, SkewPs: rep.GlobalSkew,
-				GridRebuilds: rb.Total(), RebuildsLiveDrop: rb.LiveDrop,
-				RebuildsClamp: rb.EdgeClamp, RebuildsScanRate: rb.ScanRate,
-				RebuildsCellWalk: rb.CellWalk,
-			})
-			fmt.Fprintf(os.Stderr, "scale: n=%d dist=%s pairer=%s shards=%d %.2fs wire=%.0f scans=%d rebuilds=%d/%d/%d/%d\n",
-				len(in.Sinks), si.dist, pm, shards, elapsed, res.Wirelength, res.Stats.PairScans,
-				rb.LiveDrop, rb.EdgeClamp, rb.ScanRate, rb.CellWalk)
 		}
 	}
 	enc := json.NewEncoder(out)
@@ -146,6 +186,8 @@ func main() {
 		seed       = flag.Int64("seed", 9, "scale mode: instance seed")
 		suite      = flag.Bool("suite", false, "scale mode: run the LargeSuite circuits (uniform + powerlaw) instead of -sizes/-dist")
 		shards     = flag.Int("shards", 0, "scale mode: spatial shards routed concurrently and stitched (0 = off)")
+		groups     = flag.Int("groups", 0, "scale mode: also route an intermingled k-group AST-DME variant of every instance, reporting group/seam skew (0 = off)")
+		pilot      = flag.Bool("pilot", false, "scale mode: run the grouped variant with the pilot offset pass (requires -groups and -shards)")
 		outPath    = flag.String("out", "", "scale mode: write the JSON series to this file instead of stdout, e.g. -out BENCH_scale.json for a CI perf artifact")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -166,8 +208,19 @@ func main() {
 		if *shards > 0 && (*pairer == "scan" || *pairer == "both") {
 			fatal(fmt.Errorf("-shards targets scales where the O(n²) scan oracle is impractical; forcing -pairer %s alongside it is almost certainly unintended — drop one", *pairer))
 		}
+		if *groups == 1 || *groups < 0 {
+			fatal(fmt.Errorf("-groups %d: the grouped variant needs ≥ 2 groups (0 = off)", *groups))
+		}
+		if *pilot {
+			if *groups == 0 {
+				fatal(fmt.Errorf("-pilot aligns inter-group offsets and applies to the grouped variant; add -groups"))
+			}
+			if *shards == 0 {
+				fatal(fmt.Errorf("-pilot requires -shards ≥ 1 (the pilot pass exists to align shard builds)"))
+			}
+		}
 	} else {
-		for _, f := range []string{"sizes", "dist", "pairer", "seed", "suite", "out"} {
+		for _, f := range []string{"sizes", "dist", "pairer", "seed", "suite", "out", "groups", "pilot"} {
 			if set[f] {
 				fatal(fmt.Errorf("-%s applies to -mode scale only (current mode %q)", f, *mode))
 			}
@@ -198,7 +251,7 @@ func main() {
 	defer stopProf()
 
 	if *mode == "scale" {
-		runScale(out, *sizes, *dist, *pairer, *seed, *suite, *shards)
+		runScale(out, *sizes, *dist, *pairer, *seed, *suite, *shards, *groups, *pilot)
 		return
 	}
 

@@ -127,6 +127,15 @@ type Options struct {
 	// pair priority below the pair distance, which defeats the grid's
 	// geometric pruning bound (see internal/spatial).
 	Pairer PairerMode
+	// PairerThreshold, when positive, overrides GridPairerThreshold as the
+	// sink count at which PairerAuto switches to the spatial grid pairer
+	// (0 selects the package default; forced modes ignore it). The sharded
+	// pipeline divides the threshold by the shard count for its per-shard
+	// sub-builds: the grid-vs-oracle trade-off is about total instance
+	// scale, and comparing each shard's slice against the global constant
+	// silently dropped mid-size sharded runs (e.g. 10k sinks at 8 shards)
+	// onto the O(n²) scan oracle inside every shard.
+	PairerThreshold int
 	// DelayTargetBias, when positive, enables the delay-target merging-order
 	// enhancement (thesis enhancement 2, after Chaturvedi–Hu): the pair
 	// priority becomes cost − bias·(meanDelay_i + meanDelay_j). Units are
@@ -177,6 +186,20 @@ type Options struct {
 	// which honors this field (0 = off, 1 = the sharded pipeline with a
 	// single shard — bitwise-identical to the unsharded build).
 	Shards int
+	// Pilot requests the sharded pipeline's pilot offset pass: before the
+	// concurrent shard builds, a deterministic per-group sink sample is
+	// routed unsharded, the inter-group offsets it commits are read back
+	// out of its registry (Registry.Offsets) and prescribed to every shard
+	// and to the stitch through the GroupOffsets machinery — the thesis
+	// frames the inter-group skews S_{i,j} as a global contract, specified
+	// once, not k times independently (without the pilot, shards commit
+	// contradictory offsets that only the stitch windows reconcile,
+	// degrading residual intra-group skew at shard seams). Like Shards, the
+	// pass lives in shard.Build; core.Build rejects the flag rather than
+	// silently ignoring it. Incompatible with SingleGroup (no inter-group
+	// offsets exist) and with explicit GroupOffsets (the caller already
+	// prescribed the contract).
+	Pilot bool
 }
 
 // PairConstraint bounds the signed inter-group skew delay(J) − delay(I)
@@ -284,6 +307,17 @@ func normalizeOptions(in *ctree.Instance, opt *Options) error {
 	if opt.Shards < 0 {
 		return fmt.Errorf("core: Shards = %d is negative", opt.Shards)
 	}
+	if opt.PairerThreshold < 0 {
+		return fmt.Errorf("core: PairerThreshold = %d is negative", opt.PairerThreshold)
+	}
+	if opt.Pilot {
+		if opt.SingleGroup {
+			return fmt.Errorf("core: Pilot is incompatible with SingleGroup (no inter-group offsets to prescribe)")
+		}
+		if opt.GroupOffsets != nil {
+			return fmt.Errorf("core: Pilot is incompatible with explicit GroupOffsets (the offset contract is already prescribed)")
+		}
+	}
 
 	if opt.GroupOffsets != nil {
 		if opt.SingleGroup {
@@ -330,6 +364,12 @@ func Build(in *ctree.Instance, opt Options) (*Result, error) {
 		// partitioner and top-level stitch over this package); refusing here
 		// keeps the flag from being silently ignored.
 		return nil, fmt.Errorf("core: Shards = %d requires the sharded builder; call shard.Build (core.Build routes unsharded)", opt.Shards)
+	}
+	if opt.Pilot {
+		// Likewise for the pilot offset pass: it exists to align shard
+		// builds, so requesting it on the unsharded path is a mistake worth
+		// surfacing rather than ignoring.
+		return nil, fmt.Errorf("core: Pilot requires the sharded pipeline; set Shards ≥ 1 and call shard.Build")
 	}
 
 	reg, err := NewRegistry(in, opt)
@@ -393,6 +433,34 @@ func (r *Registry) PreUnions() int { return r.preUnions }
 
 // Groups returns the number of groups the registry was built over.
 func (r *Registry) Groups() int { return len(r.uf.parent) }
+
+// Offsets resolves the registry's committed inter-group offsets against
+// group 0: entry g is the registered delay of group g's sinks minus group
+// 0's, in ps — the explicit S_{0,g} form Options.GroupOffsets accepts, so
+// offsets committed by one build can be prescribed verbatim to another
+// (NewRegistry(in, Options{GroupOffsets: r.Offsets()}) round-trips). It
+// errors when some group is not (transitively) related to group 0: the
+// source build never committed that pair's offset, so no complete global
+// contract exists yet and the caller must relate more groups first (the
+// sharded pipeline's pilot pass falls back to routing a larger sample).
+func (r *Registry) Offsets() ([]float64, error) {
+	if len(r.uf.parent) == 0 {
+		return nil, fmt.Errorf("core: Offsets over an empty registry")
+	}
+	root0, off0 := r.uf.find(0)
+	out := make([]float64, len(r.uf.parent))
+	for g := 1; g < len(out); g++ {
+		rg, offg := r.uf.find(g)
+		if rg != root0 {
+			return nil, fmt.Errorf("core: groups %d and 0 are unrelated in the registry (no offset committed between them)", g)
+		}
+		// Normalized delays coincide under the leash: delay(g) − offg =
+		// delay(0) − off0, so the registered inter-group skew S_{0,g} =
+		// delay(g) − delay(0) = offg − off0.
+		out[g] = offg - off0
+	}
+	return out, nil
+}
 
 // Clone returns an independent copy of the registry's committed state.
 // Cloning is how concurrent sub-builds share a base view without locks: the
@@ -1687,7 +1755,11 @@ func (b *builder) useGridPairer(n int, userKey bool) bool {
 	case PairerScan:
 		return false
 	default:
-		return n >= GridPairerThreshold && b.opt.DelayTargetBias == 0 && !userKey
+		thr := b.opt.PairerThreshold
+		if thr <= 0 {
+			thr = GridPairerThreshold
+		}
+		return n >= thr && b.opt.DelayTargetBias == 0 && !userKey
 	}
 }
 

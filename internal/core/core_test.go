@@ -432,3 +432,68 @@ func TestPairConstraintsValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryOffsets pins the offset-extraction contract of the sharded
+// pipeline's pilot pass: a registry whose build committed offsets resolves
+// every group against group 0 in the GroupOffsets form; prescribing those
+// offsets to a fresh registry round-trips bitwise; and a registry with
+// unrelated groups reports an error instead of fabricating a contract.
+func TestRegistryOffsets(t *testing.T) {
+	in := bench.Intermingled(bench.Small(300, 7), 4, 21)
+	reg, err := NewRegistry(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Offsets(); err == nil {
+		t.Error("fresh registry (no committed offsets) returned a contract, want error")
+	}
+	sub, err := BuildSubtree(in, nil, Options{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeRoots(in, []*ctree.Node{sub.Root}, Options{}, reg); err != nil {
+		t.Fatal(err)
+	}
+	offs, err := reg.Offsets()
+	if err != nil {
+		t.Fatalf("Offsets after a full build: %v", err)
+	}
+	if len(offs) != in.NumGroups || offs[0] != 0 {
+		t.Fatalf("offsets %v: want %d entries with entry 0 == 0", offs, in.NumGroups)
+	}
+	round, err := NewRegistry(in, Options{GroupOffsets: offs})
+	if err != nil {
+		t.Fatalf("NewRegistry(Offsets()): %v", err)
+	}
+	if round.PreUnions() != in.NumGroups-1 {
+		t.Errorf("round-trip registry registered %d pre-unions, want %d", round.PreUnions(), in.NumGroups-1)
+	}
+	got, err := round.Offsets()
+	if err != nil {
+		t.Fatalf("round-trip Offsets: %v", err)
+	}
+	for g := range offs {
+		if math.Float64bits(got[g]) != math.Float64bits(offs[g]) {
+			t.Errorf("offset[%d] did not round-trip: %v vs %v", g, got[g], offs[g])
+		}
+	}
+}
+
+// TestPilotOptionRejections pins the flag-compatibility rules of the pilot
+// offset pass: core.Build refuses it outright (it lives in shard.Build), and
+// it cannot combine with SingleGroup or an explicit GroupOffsets contract.
+func TestPilotOptionRejections(t *testing.T) {
+	in := bench.Intermingled(bench.Small(40, 3), 2, 5)
+	if _, err := Build(in, Options{Pilot: true}); err == nil {
+		t.Error("core.Build accepted Pilot instead of directing to shard.Build")
+	}
+	if _, err := NewRegistry(in, Options{Pilot: true, SingleGroup: true}); err == nil {
+		t.Error("Pilot + SingleGroup accepted")
+	}
+	if _, err := NewRegistry(in, Options{Pilot: true, GroupOffsets: []float64{0, 1}}); err == nil {
+		t.Error("Pilot + explicit GroupOffsets accepted")
+	}
+	if _, err := Build(in, Options{PairerThreshold: -1}); err == nil {
+		t.Error("negative PairerThreshold accepted")
+	}
+}

@@ -108,6 +108,20 @@ func TestPairerAutoSelection(t *testing.T) {
 	if b.useGridPairer(GridPairerThreshold, false) != false {
 		t.Error("auto with delay bias: want scan (key may drop below distance)")
 	}
+	// PairerThreshold overrides the package default in both directions —
+	// the sharded pipeline scales it by the shard count so per-shard
+	// sub-builds keep the grid on mid-size instances.
+	b = &builder{opt: Options{PairerThreshold: 100}}
+	if b.useGridPairer(100, false) != true {
+		t.Error("auto at overridden threshold: want grid")
+	}
+	if b.useGridPairer(99, false) != false {
+		t.Error("auto below overridden threshold: want scan")
+	}
+	b = &builder{opt: Options{PairerThreshold: GridPairerThreshold * 2}}
+	if b.useGridPairer(GridPairerThreshold, false) != false {
+		t.Error("auto below a raised threshold: want scan")
+	}
 	b = &builder{opt: Options{Pairer: PairerGrid}}
 	if b.useGridPairer(10, false) != true {
 		t.Error("forced grid: want grid")

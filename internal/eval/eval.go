@@ -98,6 +98,79 @@ func Analyze(root *ctree.Node, in *ctree.Instance, m rctree.Model, source geom.P
 	return r
 }
 
+// SeamSkew measures the residual intra-group skew across partition seams:
+// perGroup[g] is the largest delay difference between two of group g's sinks
+// routed in different parts (shards), and maxSeam the maximum over groups.
+// This is the seam-quality metric of the sharded pipeline (internal/shard):
+// within one shard the intra-group windows bound the spread directly, so
+// whatever skew a sharded build leaks beyond an unsharded one lives across
+// seams — shards that committed contradictory inter-group offsets force the
+// stitch to reconcile them, and the residue lands here. A group confined to
+// one part (or unreached) contributes 0. parts is the sink-ID partition in
+// shard.Result.Parts form; sinks absent from every part are ignored.
+func SeamSkew(r *Report, in *ctree.Instance, parts [][]int) (perGroup []float64, maxSeam float64) {
+	g, k := in.NumGroups, len(parts)
+	perGroup = make([]float64, g)
+	if k < 2 {
+		return perGroup, 0
+	}
+	partOf := make([]int, len(in.Sinks))
+	for i := range partOf {
+		partOf[i] = -1
+	}
+	for p, ids := range parts {
+		for _, id := range ids {
+			partOf[id] = p
+		}
+	}
+	// Per-(group, part) delay extrema.
+	lo := make([]float64, g*k)
+	hi := make([]float64, g*k)
+	for i := range lo {
+		lo[i], hi[i] = math.Inf(1), math.Inf(-1)
+	}
+	for _, s := range in.Sinks {
+		p := partOf[s.ID]
+		d := r.SinkDelay[s.ID]
+		if p < 0 || math.IsNaN(d) {
+			continue
+		}
+		c := s.Group*k + p
+		lo[c] = math.Min(lo[c], d)
+		hi[c] = math.Max(hi[c], d)
+	}
+	for gi := 0; gi < g; gi++ {
+		// The seam spread max over part pairs a ≠ b of hi[a] − lo[b] needs,
+		// for each a, the smallest lo over the *other* parts: track the two
+		// smallest minima so the part holding the global minimum compares
+		// against the runner-up.
+		min1, min2, minAt := math.Inf(1), math.Inf(1), -1
+		for p := 0; p < k; p++ {
+			switch v := lo[gi*k+p]; {
+			case v < min1:
+				min2, min1, minAt = min1, v, p
+			case v < min2:
+				min2 = v
+			}
+		}
+		for p := 0; p < k; p++ {
+			h := hi[gi*k+p]
+			if math.IsInf(h, -1) {
+				continue
+			}
+			other := min1
+			if p == minAt {
+				other = min2
+			}
+			if !math.IsInf(other, 1) && h-other > perGroup[gi] {
+				perGroup[gi] = h - other
+			}
+		}
+		maxSeam = math.Max(maxSeam, perGroup[gi])
+	}
+	return perGroup, maxSeam
+}
+
 // CheckTree verifies structural invariants of a routed, embedded tree:
 // every sink reached exactly once, every node placed inside its region,
 // leaves at their sink locations, and committed edge lengths no shorter than

@@ -150,3 +150,49 @@ func TestPairSkews(t *testing.T) {
 		t.Errorf("pair (0,1) = %v, want point %v", ps[0][1], want)
 	}
 }
+
+// TestSeamSkew pins the seam metric on hand-built reports: only sink pairs
+// of one group split across different parts count, the part holding both a
+// group's extremes compares against the best *other* part, and degenerate
+// inputs (single part, single-part groups, unreached sinks) contribute 0.
+func TestSeamSkew(t *testing.T) {
+	in := &ctree.Instance{
+		Name:      "seams",
+		NumGroups: 3,
+		Sinks: []ctree.Sink{
+			{ID: 0, Group: 0}, {ID: 1, Group: 0}, {ID: 2, Group: 0}, {ID: 3, Group: 0},
+			{ID: 4, Group: 1}, {ID: 5, Group: 1},
+			{ID: 6, Group: 2}, {ID: 7, Group: 2},
+		},
+	}
+	rep := &Report{SinkDelay: []float64{
+		// Group 0: extremes 100 and 190 both in part 0 (sinks 0, 1); part 1
+		// holds 140 and 150 — the seam spread is 190−140 = 50, not 90.
+		100, 190, 140, 150,
+		// Group 1: split 10 vs 14 across parts — seam spread 4.
+		10, 14,
+		// Group 2: sink 7 unreached, leaving one reached sink — no seam.
+		20, math.NaN(),
+	}}
+	parts := [][]int{{0, 1, 4, 6}, {2, 3, 5, 7}}
+	perGroup, max := SeamSkew(rep, in, parts)
+	if len(perGroup) != 3 {
+		t.Fatalf("perGroup has %d entries, want 3", len(perGroup))
+	}
+	if got, want := perGroup[0], 50.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("group 0 seam %v, want %v (extremes share a part)", got, want)
+	}
+	if got, want := perGroup[1], 4.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("group 1 seam %v, want %v", got, want)
+	}
+	if perGroup[2] != 0 {
+		t.Errorf("group 2 seam %v, want 0 (no cross-part pair)", perGroup[2])
+	}
+	if max != 50 {
+		t.Errorf("max seam %v, want 50", max)
+	}
+	// A single part has no seams at all.
+	if _, m := SeamSkew(rep, in, [][]int{{0, 1, 2, 3, 4, 5, 6, 7}}); m != 0 {
+		t.Errorf("single part: max seam %v, want 0", m)
+	}
+}

@@ -1,11 +1,12 @@
 // Package shard routes an instance by spatial decomposition: partition the
-// sinks into k spatially compact shards, route every shard concurrently with
-// the core merge engine, then stitch the shard roots with the same
-// constraint machinery the intra-shard merges use. It is the structural
-// scaling step beyond sub-quadratic pairing and the parallel merge wave —
-// the shape that lets one route fan out across cores today and across
-// machines later (each shard build is self-contained: a sink subset plus a
-// frozen registry snapshot in, a subtree out).
+// sinks into k spatially compact shards, optionally pre-commit a global
+// inter-group offset contract with a pilot pass, route every shard
+// concurrently with the core merge engine, then stitch the shard roots with
+// the same constraint machinery the intra-shard merges use. It is the
+// structural scaling step beyond sub-quadratic pairing and the parallel
+// merge wave — the shape that lets one route fan out across cores today and
+// across machines later (each shard build is self-contained: a sink subset
+// plus a frozen registry snapshot in, a subtree out).
 //
 // # Partition
 //
@@ -28,10 +29,43 @@
 // enforces the intra-group bound over its own sinks; the relative offsets a
 // shard commits between groups are recorded in a private core.Registry
 // cloned from one frozen base (prescribed Options.GroupOffsets included).
+// Per-shard builds also see core's grid-pairer threshold divided by the
+// shard count: PairerAuto's grid-vs-oracle decision is about total instance
+// scale, and comparing each shard's 1/k slice against the global constant
+// would silently drop mid-size sharded runs (10k sinks at 8 shards) back
+// onto the O(n²) scan oracle inside every shard.
 // Sharing by frozen snapshot rather than by lock keeps the concurrent phase
 // mutex-free and the result independent of goroutine scheduling. Offsets
 // committed inside different shards may disagree; reconciliation is the
-// stitch's job.
+// stitch's job — unless the pilot pass already aligned them.
+//
+// # Pilot offset pass
+//
+// The thesis frames the inter-group skews S_{i,j} as a single global
+// contract, specified implicitly or explicitly — not k contracts decided
+// independently. Without a pilot, each shard commits its own offsets and
+// the stitch windows must reconcile the contradictions, degrading residual
+// intra-group skew at shard seams (measured up to ~51 ps on intermingled
+// uniform 10k at 8 shards, and into the thousands of ps on clustered
+// power-law placements). With core.Options.Pilot, Build decides the
+// contract once, up front: it routes a handful of deterministic sink
+// samples with the unsharded engine, reads the offsets each commits back
+// out of its registry (core.Registry.Offsets), and prescribes the per-group
+// median to every shard and to the stitch through the existing GroupOffsets
+// machinery. Shards then agree by construction and the measured seam
+// residual drops to float noise.
+//
+// The estimator's accuracy decides the wirelength price, and two properties
+// make it cheap (see pilot.go for the measurements): samples are spatially
+// compact full-density patches, because offsets are subtree-delay
+// differences and Elmore delay grows with sink spacing — a sample spread
+// over the die commits offsets inflated by the density ratio, and
+// prescribing inflated offsets forces real skew into every shard build —
+// and several patches vote by median, because any single region can commit
+// an outlier. Prescribing offsets within ~1 ps of the full build's natural
+// values costs ≤2% wire over the unpiloted sharded build; prescribing 30 ps
+// of sampling noise costs 14%. The pass itself routes a few hundred sinks
+// per patch and its cost is reported separately (Result.PilotStats).
 //
 // # Stitch
 //
@@ -54,9 +88,12 @@
 // Shards = 1 is bitwise-identical to the unsharded core.Build: the single
 // "shard" routes the full sink set through exactly the same code path and
 // the stitch is a no-op (the differential test pins wirelength bits and a
-// per-sink delay digest). Shards > 1 is seeded-deterministic: the
-// partition, each shard build, and the stitch order are pure functions of
-// (instance, options, k), so repeated runs agree bit-for-bit at any
-// GOMAXPROCS or worker count — but the routed tree legitimately differs
-// from the unsharded one.
+// per-sink delay digest); the pilot is off by default, so nothing perturbs
+// the identity. Shards > 1 is seeded-deterministic: the partition, the
+// pilot samples and their routes, each shard build, and the stitch order
+// are pure functions of (instance, options, k), so repeated runs agree
+// bit-for-bit at any GOMAXPROCS or worker count — but the routed tree
+// legitimately differs from the unsharded one. The pilot's contract uses a
+// fixed pilot partition rather than the build's, so it is additionally
+// independent of k.
 package shard

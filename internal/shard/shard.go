@@ -13,9 +13,15 @@ import (
 type ShardInfo struct {
 	// Sinks is the shard's sink count.
 	Sinks int
-	// Wirelength is the committed wire of the shard's subtree (measured
-	// after the stitch, so a shard root resolved jointly at stitch time is
-	// included).
+	// Wirelength is the committed wire of the shard's subtree, measured
+	// after the stitch: a shard root the stitch resolved jointly (a
+	// BuildSubtree root is left deferred for exactly that) commits its edges
+	// during the stitch but they are the shard's wire, and sneak elongations
+	// the stitch applies to edges inside the shard's subtree are included
+	// too. Result.StitchWire is then the wire of the stitch-created nodes
+	// alone, so Σ ShardInfo.Wirelength + StitchWire equals the tree wire
+	// exactly and StitchWire can never be negative (the accounting test in
+	// this package pins both on grouped multi-shard runs).
 	Wirelength float64
 	// Stats are the shard build's run stats (scans, rebuilds, merges, …).
 	Stats core.Stats
@@ -33,8 +39,26 @@ type Result struct {
 	// in the aggregate).
 	StitchStats core.Stats
 	// StitchWire is the wire committed by the top-level stitch merges: the
-	// total tree wire minus the shard subtrees' wire.
+	// total tree wire minus the shard subtrees' wire (never negative; see
+	// ShardInfo.Wirelength for the attribution rules).
 	StitchWire float64
+	// Parts is the spatial partition backing the shard records: Parts[i]
+	// lists shard i's sink IDs in partition order (shard.Partition output).
+	// Nil when sharding was off. Consumers use it to attribute per-sink
+	// measurements to shards — e.g. eval.SeamSkew's residual intra-group
+	// skew across shard seams.
+	Parts [][]int
+	// PilotOffsets are the inter-group offsets the pilot offset pass
+	// prescribed to every shard and the stitch (the Options.GroupOffsets
+	// form: entry g is group g's delay minus group 0's, in ps). Nil when
+	// the pilot was off or skipped (single-group instance).
+	PilotOffsets []float64
+	// PilotSinks is the number of sinks the pilot pass routed (0 = no
+	// pilot); PilotStats are that route's run stats. Both are included in
+	// the aggregate Result.Stats — the pilot is part of the run's cost —
+	// and broken out here so its share is observable.
+	PilotSinks int
+	PilotStats core.Stats
 }
 
 // Build routes the instance according to opt.Shards: 0 delegates to the
@@ -43,10 +67,19 @@ type Result struct {
 // and stitches the shard roots skew-aware with core.MergeRoots. Shards = 1
 // is bitwise-identical to core.Build; Shards > 1 is deterministic for fixed
 // (instance, options) regardless of scheduling (see the package comment).
+//
+// opt.Pilot additionally runs the pilot offset pass before the concurrent
+// builds: deterministic full-density sink patches (cut by the same
+// partitioner, independent of k) are routed unsharded, and the inter-group
+// offsets they commit are prescribed to every shard and to the stitch via
+// GroupOffsets, so the shards agree on one global offset contract instead
+// of committing k contradictory ones (the package comment has the design).
+// The pass is skipped on single-group instances, where no inter-group
+// offset exists to prescribe.
 func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 	k := opt.Shards
 	if k <= 0 {
-		res, err := core.Build(in, opt)
+		res, err := core.Build(in, opt) // rejects a stray opt.Pilot itself
 		if err != nil {
 			return nil, err
 		}
@@ -62,15 +95,52 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 		return nil, fmt.Errorf("shard: Order.Pairer cannot be shared across concurrent shard builds; leave it nil (each build constructs its own engine)")
 	}
 
-	// The sub-builds and the stitch route unsharded.
+	// The sub-builds and the stitch route unsharded; the pilot pass (which
+	// runs before GroupOffsets are prescribed below) validates opt.Pilot's
+	// flag compatibility through core's option normalization.
 	subOpt := opt
 	subOpt.Shards = 0
+	subOpt.Pilot = false
+	if _, err := core.NewRegistry(in, opt); err != nil {
+		return nil, err // surface Pilot/GroupOffsets/… option conflicts early
+	}
+
+	parts := Partition(in, k)
+
+	var pilotOffs []float64
+	var pilotStats core.Stats
+	pilotSinks := 0
+	if opt.Pilot && in.NumGroups > 1 {
+		var err error
+		pilotOffs, pilotStats, pilotSinks, err = runPilot(in, subOpt)
+		if err != nil {
+			return nil, err
+		}
+		// From here on the offsets are a prescribed contract: the base
+		// registry pre-registers them, so every shard's leash and the
+		// stitch's enforce the same inter-group alignment.
+		subOpt.GroupOffsets = pilotOffs
+	}
+
 	base, err := core.NewRegistry(in, subOpt)
 	if err != nil {
 		return nil, err
 	}
 
-	parts := Partition(in, k)
+	// Per-shard builds see the grid-pairer threshold scaled by the shard
+	// count: PairerAuto's grid-vs-oracle decision is about total instance
+	// scale (a shard holds ~1/k of the instance), and comparing each
+	// shard's slice against the global constant silently dropped mid-size
+	// sharded runs back onto the O(n²) scan oracle inside every shard.
+	// k = 1 leaves the threshold untouched, preserving bitwise identity
+	// with the unsharded build.
+	shardOpt := subOpt
+	thr := shardOpt.PairerThreshold
+	if thr <= 0 {
+		thr = core.GridPairerThreshold
+	}
+	shardOpt.PairerThreshold = (thr + k - 1) / k
+
 	subs := make([]*core.Subtree, k)
 	regs := make([]*core.Registry, k)
 	errs := make([]error, k)
@@ -80,7 +150,7 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			subs[i], errs[i] = core.BuildSubtree(in, parts[i], subOpt, regs[i])
+			subs[i], errs[i] = core.BuildSubtree(in, parts[i], shardOpt, regs[i])
 		}(i)
 	}
 	wg.Wait()
@@ -115,10 +185,15 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 			Root:     top.Root,
 			Options:  opt,
 		},
-		Shards:      make([]ShardInfo, k),
-		StitchStats: top.Stats,
+		Shards:       make([]ShardInfo, k),
+		StitchStats:  top.Stats,
+		Parts:        parts,
+		PilotOffsets: pilotOffs,
+		PilotSinks:   pilotSinks,
+		PilotStats:   pilotStats,
 	}
 	var agg core.Stats
+	agg.AddRun(pilotStats) // zero when the pilot was off
 	var shardWire float64
 	for i, s := range subs {
 		w := roots[i].Wirelength()

@@ -268,14 +268,25 @@ func TestShardErrors(t *testing.T) {
 		Order: order.Config{Pairer: stubPairer{}}}); err == nil {
 		t.Error("caller-supplied Order.Pairer accepted for concurrent shard builds")
 	}
+	grouped := bench.Intermingled(in, 2, 5)
+	if _, err := Build(grouped, core.Options{Pilot: true}); err == nil {
+		t.Error("Pilot without Shards accepted (nothing to align)")
+	}
+	if _, err := Build(in, core.Options{SingleGroup: true, Pilot: true, Shards: 2}); err == nil {
+		t.Error("Pilot + SingleGroup accepted")
+	}
+	if _, err := Build(grouped, core.Options{Pilot: true, Shards: 2,
+		GroupOffsets: []float64{0, 1}}); err == nil {
+		t.Error("Pilot + explicit GroupOffsets accepted")
+	}
 }
 
 // stubPairer is a non-nil order.Pairer used only to exercise the sharing
 // guard; it is never queried.
 type stubPairer struct{}
 
-func (stubPairer) Insert(int)                    {}
-func (stubPairer) Delete(int)                    {}
+func (stubPairer) Insert(int)                     {}
+func (stubPairer) Delete(int)                     {}
 func (stubPairer) Nearest(int) (order.Pair, bool) { return order.Pair{}, false }
 func (stubPairer) NearestAll([]int) []order.Pair  { return nil }
 func (stubPairer) Scans() int64                   { return 0 }
