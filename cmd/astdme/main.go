@@ -10,6 +10,7 @@
 //	astdme -algo zst -shards 4 -in inst.json      # sharded routing (internal/shard)
 //	astdme -algo ast -shards 4 -pilot -in i.json  # sharded + pilot offset pass
 //	astdme -algo ast -svg out.svg -in inst.json   # also render the tree
+//	astdme -algo ast -trace out.json -in i.json   # phase trace + provenance
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"repro/internal/ctree"
 	"repro/internal/eval"
 	"repro/internal/instio"
+	"repro/internal/obs"
 	"repro/internal/profutil"
 	"repro/internal/shard"
 	"repro/internal/stitch"
@@ -38,6 +40,7 @@ func main() {
 		regions    = flag.Bool("regions", false, "draw merging regions in the SVG (requires -svg)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		tracePath  = flag.String("trace", "", "write a JSON phase trace (spans, metrics, provenance) to this file (ast/extbst/zst only)")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -56,6 +59,9 @@ func main() {
 	}
 	if set["bound"] && *algo == "zst" {
 		fatal(fmt.Errorf("-bound is meaningless for zst (exact zero skew); drop it or use -algo extbst"))
+	}
+	if *tracePath != "" && *algo == "stitch" {
+		fatal(fmt.Errorf("-trace records the core router's phase timings (ast/extbst/zst); the stitch baseline is untraced"))
 	}
 	if *pilot {
 		if *algo != "ast" {
@@ -81,25 +87,34 @@ func main() {
 		fatal(fmt.Errorf("-pilot prescribes inter-group offsets, but %s has a single group; drop -pilot", in.Name))
 	}
 
+	// Construct the trace immediately before the routing work so its wall
+	// time is the time being attributed (nil when -trace is off: the whole
+	// pipeline then runs on the zero-cost disabled path).
+	var tr *obs.Trace
+	if *tracePath != "" {
+		tr = obs.New("astdme")
+		tr.SetProvenance(obs.CollectProvenance())
+	}
+
 	var root *ctree.Node
 	var wirelen float64
 	var sharded *shard.Result
 	switch *algo {
 	case "ast":
-		res, err := shard.Build(in, core.Options{IntraSkewBound: *bound, Shards: *shards, Pilot: *pilot})
+		res, err := shard.Build(in, core.Options{IntraSkewBound: *bound, Shards: *shards, Pilot: *pilot, Trace: tr})
 		if err != nil {
 			fatal(err)
 		}
 		root, wirelen, sharded = res.Root, res.Wirelength, res
 		fmt.Printf("stats: %v\n", res.Stats)
 	case "extbst":
-		res, err := shard.Build(in, core.Options{SingleGroup: true, GlobalBound: *bound, Shards: *shards})
+		res, err := shard.Build(in, core.Options{SingleGroup: true, GlobalBound: *bound, Shards: *shards, Trace: tr})
 		if err != nil {
 			fatal(err)
 		}
 		root, wirelen, sharded = res.Root, res.Wirelength, res
 	case "zst":
-		res, err := shard.Build(in, core.Options{SingleGroup: true, Shards: *shards})
+		res, err := shard.Build(in, core.Options{SingleGroup: true, Shards: *shards, Trace: tr})
 		if err != nil {
 			fatal(err)
 		}
@@ -114,10 +129,13 @@ func main() {
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
 
+	checkRgn := tr.Begin("check")
 	if err := eval.CheckTree(root, in); err != nil {
 		fatal(fmt.Errorf("tree validation failed: %w", err))
 	}
-	rep := eval.Analyze(root, in, core.DefaultModel(), in.Source)
+	checkRgn.End()
+	rep := eval.AnalyzeTraced(tr, root, in, core.DefaultModel(), in.Source)
+	tr.Close()
 	fmt.Printf("instance:         %s (%d sinks, %d groups)\n", in.Name, len(in.Sinks), in.NumGroups)
 	fmt.Printf("algorithm:        %s\n", *algo)
 	fmt.Printf("wirelength:       %.0f\n", wirelen)
@@ -160,6 +178,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("svg:              %s\n", *svgPath)
+	}
+
+	if tr != nil {
+		if err := obs.WriteJSONFile(*tracePath, tr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:            %s\n", *tracePath)
+		fmt.Printf("phases:           %s\n", tr.Report())
 	}
 }
 

@@ -17,7 +17,11 @@
 // instance (optionally piloted with -pilot), appending points that carry
 // the grouped sharded quality metrics — intra-group skew, residual seam
 // skew, pilot cost — to the same series, so the artifact tracks them
-// longitudinally. Flags that the selected mode would ignore are rejected.
+// longitudinally. Every point carries run provenance (git SHA, GOMAXPROCS,
+// CPU model, Go version, timestamp); -trace f.json additionally records a
+// phase trace of every measured point (partition/pilot/shards/stitch/eval,
+// merge-wave idle fraction) and embeds each point's phase summary in the
+// series. Flags that the selected mode would ignore are rejected.
 // All modes accept -cpuprofile/-memprofile for pprof output.
 package main
 
@@ -36,6 +40,7 @@ import (
 	"repro/internal/ctree"
 	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/profutil"
 	"repro/internal/shard"
 )
@@ -66,6 +71,12 @@ type scalePoint struct {
 	SeamSkewPs  float64 `json:"seam_skew_ps,omitempty"`
 	PilotSinks  int     `json:"pilot_sinks,omitempty"`
 	PilotScans  int64   `json:"pilot_scans,omitempty"`
+	// Provenance identifies the build and machine behind the measurement
+	// (git SHA, GOMAXPROCS, CPU model, Go version, timestamp) — without it
+	// the longitudinal trajectory is uninterpretable. Always set.
+	Provenance *obs.Provenance `json:"provenance"`
+	// Phases is the point's per-phase time attribution (-trace only).
+	Phases *obs.Summary `json:"phases,omitempty"`
 }
 
 // scaleInstance is one (instance, placement label) pair of the scale series.
@@ -74,7 +85,7 @@ type scaleInstance struct {
 	dist string
 }
 
-func runScale(out io.Writer, sizes string, dist string, pairers string, seed int64, suite bool, shards, groups int, pilot bool) {
+func runScale(out io.Writer, sizes string, dist string, pairers string, seed int64, suite bool, shards, groups int, pilot bool, tracePath string) {
 	var insts []scaleInstance
 	if suite {
 		// The longitudinal series: every LargeSuite circuit, uniform and
@@ -116,18 +127,38 @@ func runScale(out io.Writer, sizes string, dist string, pairers string, seed int
 		}
 		runs = []string{pairers}
 	}
+	// One trace root for the whole sweep when -trace is set: each measured
+	// point records into its own child, so the trace file mirrors the series
+	// point for point. Provenance is collected once — it is per-process.
+	prov := obs.CollectProvenance()
+	var root *obs.Trace
+	if tracePath != "" {
+		root = obs.New("sweep-scale")
+		root.SetProvenance(prov)
+	}
+
 	// measure routes one configuration and appends its scalePoint: the
 	// single code path constructing points keeps the single-group series and
 	// the grouped variant's fields in lockstep.
 	var series []scalePoint
 	measure := func(in *ctree.Instance, dist, pm string, opt core.Options) {
+		var tr *obs.Trace
+		if root != nil {
+			label := fmt.Sprintf("n=%d dist=%s pairer=%s shards=%d", len(in.Sinks), dist, pm, opt.Shards)
+			if !opt.SingleGroup {
+				label += fmt.Sprintf(" groups=%d pilot=%v", in.NumGroups, opt.Pilot)
+			}
+			tr = root.Child(label)
+			opt.Trace = tr
+		}
 		start := time.Now()
 		res, err := shard.Build(in, opt)
 		if err != nil {
 			fatal(err)
 		}
 		elapsed := time.Since(start).Seconds()
-		rep := eval.Analyze(res.Root, in, core.DefaultModel(), in.Source)
+		rep := eval.AnalyzeTraced(tr, res.Root, in, core.DefaultModel(), in.Source)
+		tr.Close()
 		rb := res.Stats.GridRebuilds
 		pt := scalePoint{
 			Sinks: len(in.Sinks), Dist: dist, Pairer: pm, Shards: opt.Shards,
@@ -136,6 +167,8 @@ func runScale(out io.Writer, sizes string, dist string, pairers string, seed int
 			GridRebuilds: rb.Total(), RebuildsLiveDrop: rb.LiveDrop,
 			RebuildsClamp: rb.EdgeClamp, RebuildsScanRate: rb.ScanRate,
 			RebuildsCellWalk: rb.CellWalk,
+			Provenance:       prov,
+			Phases:           tr.Summary(), // nil when untraced
 		}
 		if !opt.SingleGroup {
 			pt.Groups, pt.Pilot = in.NumGroups, opt.Pilot
@@ -174,6 +207,13 @@ func runScale(out io.Writer, sizes string, dist string, pairers string, seed int
 	if err := enc.Encode(series); err != nil {
 		fatal(err)
 	}
+	if root != nil {
+		root.Close()
+		if err := obs.WriteJSONFile(tracePath, root); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "scale: trace written to %s\n", tracePath)
+	}
 }
 
 func main() {
@@ -189,6 +229,7 @@ func main() {
 		groups     = flag.Int("groups", 0, "scale mode: also route an intermingled k-group AST-DME variant of every instance, reporting group/seam skew (0 = off)")
 		pilot      = flag.Bool("pilot", false, "scale mode: run the grouped variant with the pilot offset pass (requires -groups and -shards)")
 		outPath    = flag.String("out", "", "scale mode: write the JSON series to this file instead of stdout, e.g. -out BENCH_scale.json for a CI perf artifact")
+		tracePath  = flag.String("trace", "", "scale mode: write a JSON phase trace of every measured point to this file (also embeds per-point phase summaries in the series)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -220,7 +261,7 @@ func main() {
 			}
 		}
 	} else {
-		for _, f := range []string{"sizes", "dist", "pairer", "seed", "suite", "out", "groups", "pilot"} {
+		for _, f := range []string{"sizes", "dist", "pairer", "seed", "suite", "out", "groups", "pilot", "trace"} {
 			if set[f] {
 				fatal(fmt.Errorf("-%s applies to -mode scale only (current mode %q)", f, *mode))
 			}
@@ -251,7 +292,7 @@ func main() {
 	defer stopProf()
 
 	if *mode == "scale" {
-		runScale(out, *sizes, *dist, *pairer, *seed, *suite, *shards, *groups, *pilot)
+		runScale(out, *sizes, *dist, *pairer, *seed, *suite, *shards, *groups, *pilot, *tracePath)
 		return
 	}
 

@@ -64,9 +64,11 @@ import (
 	"math"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ctree"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/order"
 	"repro/internal/rctree"
 	"repro/internal/spatial"
@@ -200,6 +202,25 @@ type Options struct {
 	// offsets exist) and with explicit GroupOffsets (the caller already
 	// prescribed the contract).
 	Pilot bool
+	// Trace, when non-nil, records the run's phase timings (the "route"
+	// span with per-round merge-wave sub-spans) and exports the run's Stats
+	// as metrics into the trace's registry. Tracing is purely observational:
+	// a traced build is bitwise-identical to an untraced one, and a nil
+	// Trace costs nothing on the hot path (see internal/obs's disabled-path
+	// contract). A Trace is single-goroutine — concurrent sub-builds (the
+	// sharded pipeline) give each build its own child trace; the parallel
+	// merge wave's worker builders run untraced and report their rounds
+	// through this coordinating builder.
+	Trace *obs.Trace
+	// SneakProbe, when non-nil, records the leash/sneak loop's per-iteration
+	// state (window bounds, infeasibility gap, sneak wire, and the
+	// registry's per-group cumulative offsets) — the instrument for the
+	// InterSkewBound W-sweep instability. Events carry a per-merge sequence
+	// number; recording happens only on the coordinating builder, so runs
+	// wanting complete capture set MergeWorkers to 1 (parallel wave workers
+	// skip the probe rather than race on it). Like Trace, the probe is
+	// purely observational and nil costs nothing.
+	SneakProbe *obs.Probe
 }
 
 // PairConstraint bounds the signed inter-group skew delay(J) − delay(I)
@@ -233,6 +254,11 @@ type Stats struct {
 	// SneakWire is their total added wirelength.
 	SneakEvents int
 	SneakWire   float64
+	// SneakIters counts leash/sneak loop iterations that attempted to close
+	// an infeasible window gap (SneakEvents of them succeeded; the rest
+	// aborted to a compromise). The iteration budget is MaxSneakIter per
+	// merge.
+	SneakIters int
 	// PairScans is the number of candidate pair evaluations the merging
 	// order performed — the work metric the spatial pairer drives
 	// sub-quadratic (all-pairs pairing scans Θ(n²) of them per round).
@@ -259,6 +285,7 @@ func (s *Stats) add(d Stats) {
 	s.MergeSnakes += d.MergeSnakes
 	s.SneakEvents += d.SneakEvents
 	s.SneakWire += d.SneakWire
+	s.SneakIters += d.SneakIters
 	s.SneakUnresolved += d.SneakUnresolved
 }
 
@@ -391,7 +418,10 @@ func Build(in *ctree.Instance, opt Options) (*Result, error) {
 		Stats:      b.stats,
 	}
 	res.Wirelength = b.root.Wirelength() + res.SourceWire
+	emb := opt.Trace.Begin("embed")
 	res.Root.Embed(geom.ToUV(in.Source))
+	emb.End()
+	RecordStatsMetrics(opt.Trace, res.Stats)
 	return res, nil
 }
 
@@ -479,6 +509,10 @@ func (r *Registry) Clone() *Registry {
 type Subtree struct {
 	Root  *ctree.Node
 	Stats Stats
+	// Trace is the build's trace node (Options.Trace echoed back; nil when
+	// untraced) so pipeline stages can pass each sub-build's recorded
+	// phases along with its product.
+	Trace *obs.Trace
 }
 
 // BuildSubtree routes the sub-instance consisting of the given sink IDs
@@ -506,7 +540,8 @@ func BuildSubtree(in *ctree.Instance, sinkIDs []int, opt Options, reg *Registry)
 	b.initScratch()
 	b.initSinkNodes(sinkIDs)
 	b.route()
-	return &Subtree{Root: b.root, Stats: b.stats}, nil
+	RecordStatsMetrics(opt.Trace, b.stats)
+	return &Subtree{Root: b.root, Stats: b.stats, Trace: opt.Trace}, nil
 }
 
 // MergeRoots merges pre-built subtree roots into one tree under the full
@@ -534,7 +569,8 @@ func MergeRoots(in *ctree.Instance, roots []*ctree.Node, opt Options, reg *Regis
 	b.initRootNodes(roots)
 	b.route()
 	b.finishRoot()
-	return &Subtree{Root: b.root, Stats: b.stats}, nil
+	RecordStatsMetrics(opt.Trace, b.stats)
+	return &Subtree{Root: b.root, Stats: b.stats, Trace: opt.Trace}, nil
 }
 
 // ZST routes ignoring groups with exact zero global skew (greedy-DME).
@@ -695,6 +731,19 @@ type builder struct {
 	workers []mergeWorker
 	tasks   []mergeTask
 	rootsIn []bool // scratch: union roots written by scheduled batch writers
+
+	// Observability state (main builder only; all of it is dead weight when
+	// opt.Trace and opt.SneakProbe are nil — no field is touched then).
+	// wave* accumulate the parallel merge wave's per-round idle accounting
+	// for export as MetricWave* at the end of route; busyNS is the per-round
+	// per-worker busy-time scratch; probeVals/probeSeq back the sneak probe.
+	waveRounds   int
+	waveBatchMax int
+	waveSlotNS   int64
+	waveIdleNS   int64
+	busyNS       []int64
+	probeVals    []float64
+	probeSeq     int
 }
 
 // mergeTask is one merge of a round's disjoint batch.
@@ -895,6 +944,8 @@ func (b *builder) initRootNodes(roots []*ctree.Node) {
 // initSinkNodes or initRootNodes) down to a single root, which may be left
 // Deferred — finishRoot commits it toward the source when the tree is final.
 func (b *builder) route() {
+	rgn := b.opt.Trace.Begin("route")
+	defer rgn.End()
 	n := len(b.nodes)
 	if n == 1 {
 		b.root = b.nodes[0]
@@ -952,6 +1003,18 @@ func (b *builder) route() {
 	b.stats.PairScans = q.Scans()
 	if gp, ok := ocfg.Pairer.(*spatial.GridPairer); ok {
 		b.stats.GridRebuilds = gp.Index().Rebuilds()
+	}
+	if tr := b.opt.Trace; tr != nil {
+		tr.Metric(obs.MetricPairingNS, float64(q.BatchTime().Nanoseconds()))
+		if gp, ok := ocfg.Pairer.(*spatial.GridPairer); ok {
+			tr.Metric(obs.MetricGridRebuildNS, float64(gp.Index().RebuildTime().Nanoseconds()))
+		}
+		if b.waveRounds > 0 {
+			tr.Metric(obs.MetricWaveRounds, float64(b.waveRounds))
+			tr.Metric(obs.MetricWaveSlotNS, float64(b.waveSlotNS))
+			tr.Metric(obs.MetricWaveIdleNS, float64(b.waveIdleNS))
+			tr.Metric(obs.MetricWaveBatchMax, float64(b.waveBatchMax))
+		}
 	}
 	b.root = b.nodes[len(b.nodes)-1]
 }
@@ -1022,8 +1085,27 @@ func (b *builder) runBatch(q *order.Queue, batch []order.Pair) {
 }
 
 // mergeBatchParallel is runBatch's parallel wave + serial commit (see the
-// runBatch comment for the invariants).
+// runBatch comment for the invariants). When traced it times the round's
+// three sections — serial scheduling pass, parallel wave, serial commit —
+// and accumulates the wave's idle accounting: over a round with W workers,
+// slot time is (sched + wave + commit)·W and idle time is
+// (sched + commit)·(W−1) plus the wave's internal imbalance (wave·W − Σbusy),
+// so idle/slot across rounds is the fraction of worker capacity spent
+// waiting on the serial sections or on uneven chunks.
 func (b *builder) mergeBatchParallel(batch []order.Pair, base, workers int) {
+	tr := b.opt.Trace
+	var rgn obs.Region
+	var tStart time.Time
+	if tr != nil {
+		rgn = tr.Begin("wave")
+		tStart = time.Now()
+		if len(b.busyNS) < workers {
+			b.busyNS = make([]int64, workers)
+		}
+		for i := range b.busyNS {
+			b.busyNS[i] = 0
+		}
+	}
 	// Scheduling pass: conservative registry-conflict analysis in batch
 	// order, against the pre-batch registry (b.uf is not mutated here).
 	multiRoot := !b.opt.SingleGroup && b.in.NumGroups > 1 && b.opt.GroupOffsets == nil
@@ -1052,14 +1134,27 @@ func (b *builder) mergeBatchParallel(batch []order.Pair, base, workers int) {
 	}
 	for len(b.workers) < workers {
 		w := mergeWorker{wb: builder{opt: b.opt, in: b.in}}
+		// Workers run untraced: a Trace/Probe is single-goroutine, and the
+		// coordinating builder owns the round's accounting.
+		w.wb.opt.Trace = nil
+		w.wb.opt.SneakProbe = nil
 		w.wb.initScratch()
 		b.workers = append(b.workers, w)
+	}
+	var tSched time.Time
+	if tr != nil {
+		tSched = time.Now()
 	}
 	var next atomic.Int32
 	order.ParallelChunksN(len(tasks), workers, 1, func(lo, hi int) {
 		// ParallelChunksN launches at most `workers` chunks; the counter
 		// keys each chunk to a private worker without assuming launch order.
-		w := &b.workers[next.Add(1)-1]
+		wi := next.Add(1) - 1
+		w := &b.workers[wi]
+		var tBusy time.Time
+		if tr != nil {
+			tBusy = time.Now()
+		}
 		for k := lo; k < hi; k++ {
 			t := &tasks[k]
 			if !t.wave {
@@ -1077,7 +1172,14 @@ func (b *builder) mergeBatchParallel(batch []order.Pair, base, workers int) {
 			w.wb.merge(t.na, t.nb, t.out)
 			t.stats = w.wb.stats
 		}
+		if tr != nil {
+			b.busyNS[wi] = time.Since(tBusy).Nanoseconds()
+		}
 	})
+	var tWave time.Time
+	if tr != nil {
+		tWave = time.Now()
+	}
 
 	// Serial commit in batch order.
 	for k := range tasks {
@@ -1093,6 +1195,36 @@ func (b *builder) mergeBatchParallel(batch []order.Pair, base, workers int) {
 		} else {
 			b.merge(t.na, t.nb, t.out)
 		}
+	}
+
+	if tr != nil {
+		w := int64(workers)
+		sched := tSched.Sub(tStart).Nanoseconds()
+		wave := tWave.Sub(tSched).Nanoseconds()
+		commit := time.Since(tWave).Nanoseconds()
+		var busy int64
+		for _, v := range b.busyNS[:workers] {
+			busy += v
+		}
+		idle := (sched+commit)*(w-1) + (wave*w - busy)
+		if idle < 0 {
+			idle = 0 // clock skew between the chunk timers and the wave timer
+		}
+		slot := (sched + wave + commit) * w
+		b.waveRounds++
+		b.waveSlotNS += slot
+		b.waveIdleNS += idle
+		if len(batch) > b.waveBatchMax {
+			b.waveBatchMax = len(batch)
+		}
+		idleFrac := 0.0
+		if slot > 0 {
+			idleFrac = float64(idle) / float64(slot)
+		}
+		rgn.Attr("batch", float64(len(batch))).
+			Attr("workers", float64(workers)).
+			Attr("idle_frac", idleFrac)
+		rgn.End()
 	}
 }
 
@@ -1552,6 +1684,12 @@ func appendCoverHandles(dst []handle, m rctree.Model, n *ctree.Node, g int) []ha
 func (b *builder) intersectWindows(na, nb *ctree.Node, shared []int) (xLo, xHi float64, compromised bool) {
 	m := b.opt.Model
 	budget := b.opt.SneakCostCap * (geom.DistRR(na.Region, nb.Region) + 1)
+	probe := b.opt.SneakProbe
+	seq := 0
+	if probe != nil {
+		b.probeSeq++
+		seq = b.probeSeq
+	}
 	for iter := 0; ; iter++ {
 		xLo, xHi := math.Inf(-1), math.Inf(1)
 		var gLo, gHi constraint
@@ -1568,6 +1706,9 @@ func (b *builder) intersectWindows(na, nb *ctree.Node, shared []int) (xLo, xHi f
 		}
 		gap := xLo - xHi
 		eps := 1e-9 * (1 + math.Abs(xLo) + math.Abs(xHi))
+		if probe != nil {
+			probe.Record("window", seq, iter, gap, xLo, xHi, 0, b.probeOffsets())
+		}
 		if gap <= eps || iter >= b.opt.MaxSneakIter || gLo == gHi {
 			if gap > 0 {
 				if gap > eps {
@@ -1582,6 +1723,7 @@ func (b *builder) intersectWindows(na, nb *ctree.Node, shared []int) (xLo, xHi f
 			}
 			return xLo, xHi, false
 		}
+		b.stats.SneakIters++
 		// Close the gap: either slow constraint gHi on nb's side (raises its
 		// window ceiling) or slow gLo on na's side (lowers its floor).
 		// Pick the cheaper available cover.
@@ -1609,14 +1751,33 @@ func (b *builder) intersectWindows(na, nb *ctree.Node, shared []int) (xLo, xHi f
 				h.ref.AddLen(-plan.gammas[i])
 			}
 			sub.Recompute(m)
+			if probe != nil {
+				probe.Record("revert", seq, iter, newGap, xLo, xHi, plan.wire, nil)
+			}
 			b.stats.SneakUnresolved++
 			c := (xLo + xHi) / 2
 			return c, c, true
+		}
+		if probe != nil {
+			probe.Record("sneak", seq, iter, gap, xLo, xHi, plan.wire, nil)
 		}
 		budget -= plan.wire
 		b.stats.SneakEvents++
 		b.stats.SneakWire += plan.wire
 	}
+}
+
+// probeOffsets snapshots the registry's per-group cumulative offsets (each
+// group's offset to its union root) into the probe scratch for one
+// ProbeEvent.Vals record.
+func (b *builder) probeOffsets() []float64 {
+	if b.probeVals == nil {
+		b.probeVals = make([]float64, b.in.NumGroups)
+	}
+	for g := range b.probeVals {
+		_, b.probeVals[g] = b.uf.find(g)
+	}
+	return b.probeVals
 }
 
 // currentGap recomputes the window infeasibility of the pair in place.
@@ -1765,9 +1926,9 @@ func (b *builder) useGridPairer(n int, userKey bool) bool {
 
 // String summarizes the stats.
 func (s Stats) String() string {
-	return fmt.Sprintf("merges=%d (same=%d cross=%d shared=%d deferred=%d unions=%d) snakes=%d sneaks=%d (+%.0f wire, %d unresolved) scans=%d rebuilds=%d (drop=%d clamp=%d rate=%d walk=%d)",
+	return fmt.Sprintf("merges=%d (same=%d cross=%d shared=%d deferred=%d unions=%d) snakes=%d sneaks=%d/%d iters (+%.0f wire, %d unresolved) scans=%d rebuilds=%d (drop=%d clamp=%d rate=%d walk=%d)",
 		s.Merges, s.SameGroup, s.CrossGroup, s.Shared, s.Deferred, s.GroupUnions,
-		s.MergeSnakes, s.SneakEvents, s.SneakWire, s.SneakUnresolved, s.PairScans,
+		s.MergeSnakes, s.SneakEvents, s.SneakIters, s.SneakWire, s.SneakUnresolved, s.PairScans,
 		s.GridRebuilds.Total(), s.GridRebuilds.LiveDrop, s.GridRebuilds.EdgeClamp,
 		s.GridRebuilds.ScanRate, s.GridRebuilds.CellWalk)
 }

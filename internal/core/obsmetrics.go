@@ -1,0 +1,63 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// RecordStatsMetrics exports every field of s into the trace's metric
+// registry: snake_case names (Merges → "merges", PairScans → "pair_scans"),
+// nested stat structs flattened with their field name as a prefix
+// (GridRebuilds.LiveDrop → "grid_rebuilds_live_drop"). The walk is by
+// reflection so a new Stats field is exported without anyone remembering to
+// — the counter registry absorbs Stats by construction, not by a hand-kept
+// mirror. No-op on a nil trace. Metrics accumulate by name, so repeated
+// sub-builds recording into one trace (the pilot's patches) sum.
+func RecordStatsMetrics(tr *obs.Trace, s Stats) {
+	if tr == nil {
+		return
+	}
+	recordStructMetrics(tr, "", reflect.ValueOf(s))
+}
+
+func recordStructMetrics(tr *obs.Trace, prefix string, v reflect.Value) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		fv := v.Field(i)
+		name := prefix + snakeCase(t.Field(i).Name)
+		switch fv.Kind() {
+		case reflect.Struct:
+			recordStructMetrics(tr, name+"_", fv)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			tr.Metric(name, float64(fv.Int()))
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			tr.Metric(name, float64(fv.Uint()))
+		case reflect.Float32, reflect.Float64:
+			tr.Metric(name, fv.Float())
+		}
+	}
+}
+
+// snakeCase converts a Go field name to snake_case: an underscore before
+// every upper-case letter that follows a lower-case one ("PairScans" →
+// "pair_scans"; acronym runs stay together).
+func snakeCase(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	prevLower := false
+	for _, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			if prevLower {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r - 'A' + 'a')
+			prevLower = false
+		} else {
+			b.WriteRune(r)
+			prevLower = r >= 'a' && r <= 'z'
+		}
+	}
+	return b.String()
+}

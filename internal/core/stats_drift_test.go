@@ -1,0 +1,89 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/spatial"
+)
+
+// fillDistinct sets every numeric leaf field of v (recursing into nested
+// structs) to a distinct non-zero value, returning the next seed.
+func fillDistinct(v reflect.Value, seed int) int {
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Struct:
+			seed = fillDistinct(f, seed)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(int64(seed))
+			seed++
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(uint64(seed))
+			seed++
+		case reflect.Float32, reflect.Float64:
+			f.SetFloat(float64(seed) + 0.5)
+			seed++
+		default:
+			panic("Stats has a field kind fillDistinct cannot seed: " + f.Kind().String())
+		}
+	}
+	return seed
+}
+
+// TestStatsAddRunCoversEveryField enforces the "keep it in sync" contract of
+// Stats.add/AddRun by construction: fill a Stats with distinct non-zero
+// values in every leaf field, accumulate it twice with AddRun, and require
+// every leaf to have exactly doubled. A newly added Stats field that add or
+// AddRun forgets stays at its filled value instead of doubling and fails
+// here by name.
+func TestStatsAddRunCoversEveryField(t *testing.T) {
+	var d Stats
+	fillDistinct(reflect.ValueOf(&d).Elem(), 1)
+
+	got := d // start from one copy, accumulate the same delta once more
+	got.AddRun(d)
+
+	var checkDoubled func(prefix string, g, w reflect.Value)
+	checkDoubled = func(prefix string, g, w reflect.Value) {
+		for i := 0; i < g.NumField(); i++ {
+			name := prefix + g.Type().Field(i).Name
+			gf, wf := g.Field(i), w.Field(i)
+			switch gf.Kind() {
+			case reflect.Struct:
+				checkDoubled(name+".", gf, wf)
+			case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+				if gf.Int() != 2*wf.Int() {
+					t.Errorf("Stats.%s not accumulated by AddRun: got %d, want %d", name, gf.Int(), 2*wf.Int())
+				}
+			case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+				if gf.Uint() != 2*wf.Uint() {
+					t.Errorf("Stats.%s not accumulated by AddRun: got %d, want %d", name, gf.Uint(), 2*wf.Uint())
+				}
+			case reflect.Float32, reflect.Float64:
+				if gf.Float() != 2*wf.Float() {
+					t.Errorf("Stats.%s not accumulated by AddRun: got %g, want %g", name, gf.Float(), 2*wf.Float())
+				}
+			}
+		}
+	}
+	checkDoubled("", reflect.ValueOf(got), reflect.ValueOf(d))
+}
+
+// TestStatsAddExcludesOnlyEngineMetrics pins add's documented contract: it
+// accumulates every Stats field except the per-run engine metrics PairScans
+// and GridRebuilds, and nothing else is silently excluded.
+func TestStatsAddExcludesOnlyEngineMetrics(t *testing.T) {
+	var d Stats
+	fillDistinct(reflect.ValueOf(&d).Elem(), 1)
+
+	var got Stats
+	got.add(d)
+
+	want := d
+	want.PairScans = 0
+	want.GridRebuilds = spatial.RebuildStats{}
+	if got != want {
+		t.Errorf("Stats.add mismatch:\n got  %+v\nwant %+v", got, want)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/ctree"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/rctree"
 )
 
@@ -95,6 +96,20 @@ func Analyze(root *ctree.Node, in *ctree.Instance, m rctree.Model, source geom.P
 	r.TreeWire = root.Wirelength()
 	r.SourceWire = geom.DistRP(root.Region, geom.ToUV(source))
 	r.TotalWire = r.TreeWire + r.SourceWire
+	return r
+}
+
+// AnalyzeTraced is Analyze wrapped in an "eval" span on tr, recording the
+// headline measurements (global and max-group skew in ps, sinks reached) as
+// span attributes so a trace file carries the run's outcome alongside its
+// time attribution. A nil tr makes it exactly Analyze.
+func AnalyzeTraced(tr *obs.Trace, root *ctree.Node, in *ctree.Instance, m rctree.Model, source geom.Point) *Report {
+	rgn := tr.Begin("eval")
+	r := Analyze(root, in, m, source)
+	rgn.Attr("global_skew_ps", r.GlobalSkew).
+		Attr("max_group_skew_ps", r.MaxGroupSkew).
+		Attr("sinks", float64(r.Sinks))
+	rgn.End()
 	return r
 }
 

@@ -43,6 +43,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Strategy selects how aggressively merges are batched.
@@ -139,6 +140,12 @@ type Queue struct {
 	ids  []int
 	used []bool
 	out  []Pair
+
+	// batchTime accumulates wall time spent inside NextBatch — the pairing
+	// and batch-selection cost of the run, separable from the merge bodies.
+	// Measured unconditionally (two clock reads per round, no allocations)
+	// and read back through BatchTime by traced callers.
+	batchTime time.Duration
 }
 
 // starveRounds is the number of Multi rounds an item may go unmerged before
@@ -293,6 +300,18 @@ func (q *Queue) Next() (i, j int, ok bool) {
 // Merged in batch order. The returned slice is valid until the next
 // NextBatch or Next call.
 func (q *Queue) NextBatch() []Pair {
+	start := time.Now()
+	out := q.nextBatch()
+	q.batchTime += time.Since(start)
+	return out
+}
+
+// BatchTime reports the accumulated wall time of all NextBatch calls: the
+// run's pairing/selection cost. Greedy's incremental heap refreshes inside
+// Merged are not included (Greedy is not the batched strategies' path).
+func (q *Queue) BatchTime() time.Duration { return q.batchTime }
+
+func (q *Queue) nextBatch() []Pair {
 	switch q.cfg.Strategy {
 	case Greedy:
 		if q.live < 2 {

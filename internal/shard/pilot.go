@@ -159,10 +159,16 @@ func runPilot(in *ctree.Instance, opt core.Options) (offs []float64, stats core.
 	parts := Partition(in, p)
 	for q := pilotPatchSinks; ; q *= 4 {
 		var ests [][]float64
-		for _, part := range parts {
+		for pi, part := range parts {
 			ids := pilotPatchSample(in, part, q)
 			isFull := len(ids) == len(in.Sinks)
 			sinks += len(ids)
+			// One span per patch route on the pilot's trace (the spans of
+			// the patch's own build nest under it, and its metrics
+			// accumulate into the pilot trace's registry).
+			rgn := opt.Trace.Begin("patch").
+				Attr("index", float64(pi)).
+				Attr("sinks", float64(len(ids)))
 			reg, err := core.NewRegistry(in, opt)
 			if err != nil {
 				return nil, stats, sinks, err
@@ -180,6 +186,7 @@ func runPilot(in *ctree.Instance, opt core.Options) (offs []float64, stats core.
 				return nil, stats, sinks, err
 			}
 			stats.AddRun(top.Stats)
+			rgn.End()
 			est, err := reg.Offsets()
 			if err != nil {
 				if isFull {

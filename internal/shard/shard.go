@@ -1,12 +1,16 @@
 package shard
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/ctree"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // ShardInfo describes one routed shard of a sharded run.
@@ -59,6 +63,11 @@ type Result struct {
 	// and broken out here so its share is observable.
 	PilotSinks int
 	PilotStats core.Stats
+	// Trace is the run's trace node (Options.Trace echoed back; nil when
+	// untraced): top-level spans for the partition/pilot/shards/stitch/
+	// finalize phases, with the pilot, each shard build, and the stitch
+	// recording into child traces ("pilot", "shard0"…, "stitch").
+	Trace *obs.Trace
 }
 
 // Build routes the instance according to opt.Shards: 0 delegates to the
@@ -83,8 +92,9 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Result: *res}, nil
+		return &Result{Result: *res, Trace: opt.Trace}, nil
 	}
+	tr := opt.Trace
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -101,21 +111,33 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 	subOpt := opt
 	subOpt.Shards = 0
 	subOpt.Pilot = false
+	// Pipeline components record into their own child traces below; the
+	// parent trace holds the phase spans and stays on this goroutine.
+	subOpt.Trace = nil
 	if _, err := core.NewRegistry(in, opt); err != nil {
 		return nil, err // surface Pilot/GroupOffsets/… option conflicts early
 	}
 
+	partRgn := tr.Begin("partition")
 	parts := Partition(in, k)
+	partRgn.End()
 
 	var pilotOffs []float64
 	var pilotStats core.Stats
 	pilotSinks := 0
 	if opt.Pilot && in.NumGroups > 1 {
+		pilotRgn := tr.Begin("pilot")
+		pilotOpt := subOpt
+		if tr != nil {
+			pilotOpt.Trace = tr.Child("pilot")
+		}
 		var err error
-		pilotOffs, pilotStats, pilotSinks, err = runPilot(in, subOpt)
+		pilotOffs, pilotStats, pilotSinks, err = runPilot(in, pilotOpt)
+		pilotOpt.Trace.Close()
 		if err != nil {
 			return nil, err
 		}
+		pilotRgn.Attr("sinks", float64(pilotSinks)).End()
 		// From here on the offsets are a prescribed contract: the base
 		// registry pre-registers them, so every shard's leash and the
 		// stitch's enforce the same inter-group alignment.
@@ -140,20 +162,36 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 		thr = core.GridPairerThreshold
 	}
 	shardOpt.PairerThreshold = (thr + k - 1) / k
+	if k > 1 {
+		// A Probe is single-goroutine; concurrent shard builds would race
+		// on it. The serial components (pilot, stitch) still record; runs
+		// wanting complete sneak capture use Shards ≤ 1.
+		shardOpt.SneakProbe = nil
+	}
 
+	shardsRgn := tr.Begin("shards").Attr("count", float64(k))
 	subs := make([]*core.Subtree, k)
 	regs := make([]*core.Registry, k)
 	errs := make([]error, k)
 	var wg sync.WaitGroup
 	for i := range parts {
 		regs[i] = base.Clone() // private view of the frozen base
+		so := shardOpt
+		if tr != nil {
+			so.Trace = tr.Child("shard" + strconv.Itoa(i))
+		}
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, so core.Options) {
 			defer wg.Done()
-			subs[i], errs[i] = core.BuildSubtree(in, parts[i], shardOpt, regs[i])
-		}(i)
+			// Label the goroutine so -cpuprofile samples attribute to shards.
+			pprof.Do(context.Background(), pprof.Labels("shard", strconv.Itoa(i)), func(context.Context) {
+				subs[i], errs[i] = core.BuildSubtree(in, parts[i], so, regs[i])
+			})
+			so.Trace.Close()
+		}(i, so)
 	}
 	wg.Wait()
+	shardsRgn.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -174,11 +212,19 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 	if k == 1 {
 		topReg = regs[0]
 	}
-	top, err := core.MergeRoots(in, roots, subOpt, topReg)
+	stitchRgn := tr.Begin("stitch")
+	stitchOpt := subOpt
+	if tr != nil {
+		stitchOpt.Trace = tr.Child("stitch")
+	}
+	top, err := core.MergeRoots(in, roots, stitchOpt, topReg)
+	stitchOpt.Trace.Close()
+	stitchRgn.End()
 	if err != nil {
 		return nil, err
 	}
 
+	finRgn := tr.Begin("finalize")
 	res := &Result{
 		Result: core.Result{
 			Instance: in,
@@ -191,6 +237,7 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 		PilotOffsets: pilotOffs,
 		PilotSinks:   pilotSinks,
 		PilotStats:   pilotStats,
+		Trace:        tr,
 	}
 	var agg core.Stats
 	agg.AddRun(pilotStats) // zero when the pilot was off
@@ -224,5 +271,6 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 	res.Wirelength = treeWire + res.SourceWire
 	res.StitchWire = treeWire - shardWire
 	res.Root.Embed(geom.ToUV(in.Source))
+	finRgn.End()
 	return res, nil
 }

@@ -65,6 +65,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/geom"
 )
@@ -239,6 +240,10 @@ type Index struct {
 	cellTrim float64
 
 	rebuilds RebuildStats
+	// rebuildTime accumulates wall time spent inside rebuild. Measured
+	// unconditionally (two clock reads per rebuild, no allocations) so
+	// traced callers can attribute pairing time to index maintenance.
+	rebuildTime time.Duration
 
 	countBuf []int32 // bulk-fill scratch: per-cell entry counts
 
@@ -399,6 +404,9 @@ func (x *Index) Scans() int64 { return x.scans.Load() }
 
 // Rebuilds reports how many times the index rebuilt itself, by trigger.
 func (x *Index) Rebuilds() RebuildStats { return x.rebuilds }
+
+// RebuildTime reports the cumulative wall time spent rebuilding the index.
+func (x *Index) RebuildTime() time.Duration { return x.rebuildTime }
 
 // clampSpan converts box r to a window-relative, clamped cell span.
 // clamped reports whether any side was cut by the window edge.
@@ -732,6 +740,8 @@ func (x *Index) purge() {
 // have fattened and thinned: time to re-adapt the cell) or when too many
 // items sit clamped at the window edge.
 func (x *Index) rebuild(recell bool) {
+	start := time.Now()
+	defer func() { x.rebuildTime += time.Since(start) }()
 	live := make([]int32, 0, x.n)
 	liveBoxes := make([]geom.Rect, 0, x.n)
 	for id := range x.spans {
@@ -798,7 +808,7 @@ func (x *Index) bulkFile(ids []int32, boxes []geom.Rect) {
 	for c, cnt := range counts {
 		if cnt > 0 {
 			// Length 0, capacity cnt: x.file appends in place.
-			x.cells[c] = flat[len(flat):len(flat):len(flat)+int(cnt)]
+			x.cells[c] = flat[len(flat) : len(flat) : len(flat)+int(cnt)]
 			flat = flat[:len(flat)+int(cnt)]
 		}
 	}
@@ -931,10 +941,10 @@ func (x *Index) ringStrips(strips *[4][4]int32, u0, u1, v0, v1, r int32) int {
 		add(u0, u1, v0, v1)
 		return n
 	}
-	add(u0, u1, v0, v0)         // bottom strip
-	add(u0, u1, v1, v1)         // top strip
-	add(u0, u0, v0+1, v1-1)     // left column
-	add(u1, u1, v0+1, v1-1)     // right column
+	add(u0, u1, v0, v0)     // bottom strip
+	add(u0, u1, v1, v1)     // top strip
+	add(u0, u0, v0+1, v1-1) // left column
+	add(u1, u1, v0+1, v1-1) // right column
 	return n
 }
 
