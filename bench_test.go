@@ -17,6 +17,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -265,7 +266,7 @@ func BenchmarkOrderScaling(b *testing.B) {
 // bookkeeping needed. AllocsPerRun pins GOMAXPROCS to 1, so the count
 // excludes goroutine fan-out and is stable across CI machines.
 //
-// Two variants per distribution:
+// Three variants per distribution:
 //   - untraced (Options.Trace == nil): pins the zero-cost-when-disabled
 //     contract of internal/obs — the nil-trace no-op path must not add a
 //     single allocation over the pre-obs baseline.
@@ -273,6 +274,10 @@ func BenchmarkOrderScaling(b *testing.B) {
 //     storage lives in the arena allocated by NewWithCap (outside the
 //     measured closure), so enabling tracing may add only the handful of
 //     bookkeeping allocations the builder makes for wave/probe scratch.
+//   - cancellation-armed: the same route under a live cancellable context
+//     (Options.Ctx set). The per-round done-channel poll must be
+//     allocation-free, so arming -timeout-style cancellation shares the
+//     untraced budget exactly.
 func TestRouteAllocBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -312,6 +317,18 @@ func TestRouteAllocBudget(t *testing.T) {
 		t.Logf("%s 10k route: %.0f allocs traced", dist, tracedAllocs)
 		if tracedAllocs > budgetTraced {
 			t.Errorf("%s 10k traced route allocations = %.0f, budget %d", dist, tracedAllocs, budgetTraced)
+		}
+
+		ctx, cancelRoute := context.WithCancel(context.Background())
+		ctxAllocs := testing.AllocsPerRun(1, func() {
+			if _, err := core.ZST(in, core.Options{Pairer: core.PairerGrid, Ctx: ctx}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		cancelRoute()
+		t.Logf("%s 10k route: %.0f allocs cancellation-armed", dist, ctxAllocs)
+		if ctxAllocs > budgetUntraced {
+			t.Errorf("%s 10k cancellation-armed route allocations = %.0f, budget %d", dist, ctxAllocs, budgetUntraced)
 		}
 	}
 }

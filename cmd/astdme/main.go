@@ -11,15 +11,21 @@
 //	astdme -algo ast -shards 4 -pilot -in i.json  # sharded + pilot offset pass
 //	astdme -algo ast -svg out.svg -in inst.json   # also render the tree
 //	astdme -algo ast -trace out.json -in i.json   # phase trace + provenance
+//	astdme -algo ast -timeout 30s -in i.json      # abort the build after 30s
+//	astdme -algo zst -shards 4 -chaos 1 -in i.json # fault-injected dispatch
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ctree"
+	"repro/internal/dispatch"
 	"repro/internal/eval"
 	"repro/internal/instio"
 	"repro/internal/obs"
@@ -41,6 +47,8 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		tracePath  = flag.String("trace", "", "write a JSON phase trace (spans, metrics, provenance) to this file (ast/extbst/zst only)")
+		timeout    = flag.Duration("timeout", 0, "abort the build after this long, e.g. 30s (ast/extbst/zst only; 0 = unbounded)")
+		chaosSeed  = flag.Int64("chaos", 0, "seeded fault injection into the shard dispatcher: panics, transient errors, stragglers (requires -shards; the routed tree stays bitwise identical)")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -71,6 +79,17 @@ func main() {
 			fatal(fmt.Errorf("-pilot requires -shards ≥ 1 (the pilot pass exists to align shard builds)"))
 		}
 	}
+	if set["timeout"] {
+		if *timeout <= 0 {
+			fatal(fmt.Errorf("-timeout must be positive (got %v); drop it to run unbounded", *timeout))
+		}
+		if *algo == "stitch" {
+			fatal(fmt.Errorf("-timeout cancels the core router's merge loop (ast/extbst/zst); the stitch baseline does not observe it"))
+		}
+	}
+	if set["chaos"] && *shards == 0 {
+		fatal(fmt.Errorf("-chaos injects faults into the shard dispatcher and requires -shards ≥ 1"))
+	}
 
 	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -96,27 +115,44 @@ func main() {
 		tr.SetProvenance(obs.CollectProvenance())
 	}
 
+	// -timeout maps to context cancellation: the merge loops check the
+	// deadline once per round and unwind with a cancellation error.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancelBuild context.CancelFunc
+		ctx, cancelBuild = context.WithTimeout(ctx, *timeout)
+		defer cancelBuild()
+	}
+	var dopt dispatch.Options
+	if set["chaos"] {
+		n := *shards
+		if n < 5 {
+			n = 5 // the pilot phase dispatches up to 5 patch routes
+		}
+		dopt.Faults = dispatch.SeededPlan(*chaosSeed, n, 2*time.Millisecond, "pilot", "shard")
+	}
+
 	var root *ctree.Node
 	var wirelen float64
 	var sharded *shard.Result
 	switch *algo {
 	case "ast":
-		res, err := shard.Build(in, core.Options{IntraSkewBound: *bound, Shards: *shards, Pilot: *pilot, Trace: tr})
+		res, err := shard.BuildDispatch(in, core.Options{IntraSkewBound: *bound, Shards: *shards, Pilot: *pilot, Trace: tr, Ctx: ctx}, dopt)
 		if err != nil {
-			fatal(err)
+			fatal(buildFailure(err, *timeout))
 		}
 		root, wirelen, sharded = res.Root, res.Wirelength, res
 		fmt.Printf("stats: %v\n", res.Stats)
 	case "extbst":
-		res, err := shard.Build(in, core.Options{SingleGroup: true, GlobalBound: *bound, Shards: *shards, Trace: tr})
+		res, err := shard.BuildDispatch(in, core.Options{SingleGroup: true, GlobalBound: *bound, Shards: *shards, Trace: tr, Ctx: ctx}, dopt)
 		if err != nil {
-			fatal(err)
+			fatal(buildFailure(err, *timeout))
 		}
 		root, wirelen, sharded = res.Root, res.Wirelength, res
 	case "zst":
-		res, err := shard.Build(in, core.Options{SingleGroup: true, Shards: *shards, Trace: tr})
+		res, err := shard.BuildDispatch(in, core.Options{SingleGroup: true, Shards: *shards, Trace: tr, Ctx: ctx}, dopt)
 		if err != nil {
-			fatal(err)
+			fatal(buildFailure(err, *timeout))
 		}
 		root, wirelen, sharded = res.Root, res.Wirelength, res
 	case "stitch":
@@ -162,6 +198,10 @@ func main() {
 			fmt.Printf("  shard %d:        %d sinks, wire %.0f, scans %d, rebuilds %d\n",
 				i, si.Sinks, si.Wirelength, si.Stats.PairScans, si.Stats.GridRebuilds.Total())
 		}
+		if d := sharded.Dispatch; d.Retries+d.Hedges+d.PanicsRecovered+d.FaultsInjected > 0 {
+			fmt.Printf("dispatch:         %d retries, %d hedges, %d panics recovered, %d faults injected\n",
+				d.Retries, d.Hedges, d.PanicsRecovered, d.FaultsInjected)
+		}
 	}
 
 	if *svgPath != "" {
@@ -187,6 +227,15 @@ func main() {
 		fmt.Printf("trace:            %s\n", *tracePath)
 		fmt.Printf("phases:           %s\n", tr.Report())
 	}
+}
+
+// buildFailure maps a deadline-driven cancellation onto a one-line
+// diagnosis naming the flag that armed it; every other error passes through.
+func buildFailure(err error, timeout time.Duration) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("build cancelled after %s (-timeout)", timeout)
+	}
+	return err
 }
 
 func fatal(err error) {

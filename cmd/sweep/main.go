@@ -26,7 +26,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -85,7 +87,7 @@ type scaleInstance struct {
 	dist string
 }
 
-func runScale(out io.Writer, sizes string, dist string, pairers string, seed int64, suite bool, shards, groups int, pilot bool, tracePath string) {
+func runScale(out io.Writer, sizes string, dist string, pairers string, seed int64, suite bool, shards, groups int, pilot bool, tracePath string, timeout time.Duration) {
 	var insts []scaleInstance
 	if suite {
 		// The longitudinal series: every LargeSuite circuit, uniform and
@@ -151,9 +153,20 @@ func runScale(out io.Writer, sizes string, dist string, pairers string, seed int
 			tr = root.Child(label)
 			opt.Trace = tr
 		}
+		// -timeout budgets each measured build independently: a point that
+		// blows the budget aborts the sweep with a diagnosis naming it,
+		// rather than hanging the series.
+		if timeout > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			opt.Ctx = ctx
+		}
 		start := time.Now()
 		res, err := shard.Build(in, opt)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fatal(fmt.Errorf("scale: n=%d pairer=%s shards=%d build cancelled after %s (-timeout)", len(in.Sinks), pm, opt.Shards, timeout))
+			}
 			fatal(err)
 		}
 		elapsed := time.Since(start).Seconds()
@@ -230,6 +243,7 @@ func main() {
 		pilot      = flag.Bool("pilot", false, "scale mode: run the grouped variant with the pilot offset pass (requires -groups and -shards)")
 		outPath    = flag.String("out", "", "scale mode: write the JSON series to this file instead of stdout, e.g. -out BENCH_scale.json for a CI perf artifact")
 		tracePath  = flag.String("trace", "", "scale mode: write a JSON phase trace of every measured point to this file (also embeds per-point phase summaries in the series)")
+		timeout    = flag.Duration("timeout", 0, "scale mode: abort any single measured build after this long, e.g. 2m (0 = unbounded)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -260,8 +274,11 @@ func main() {
 				fatal(fmt.Errorf("-pilot requires -shards ≥ 1 (the pilot pass exists to align shard builds)"))
 			}
 		}
+		if set["timeout"] && *timeout <= 0 {
+			fatal(fmt.Errorf("-timeout must be positive (got %v); drop it to run unbounded", *timeout))
+		}
 	} else {
-		for _, f := range []string{"sizes", "dist", "pairer", "seed", "suite", "out", "groups", "pilot", "trace"} {
+		for _, f := range []string{"sizes", "dist", "pairer", "seed", "suite", "out", "groups", "pilot", "trace", "timeout"} {
 			if set[f] {
 				fatal(fmt.Errorf("-%s applies to -mode scale only (current mode %q)", f, *mode))
 			}
@@ -292,7 +309,7 @@ func main() {
 	defer stopProf()
 
 	if *mode == "scale" {
-		runScale(out, *sizes, *dist, *pairer, *seed, *suite, *shards, *groups, *pilot, *tracePath)
+		runScale(out, *sizes, *dist, *pairer, *seed, *suite, *shards, *groups, *pilot, *tracePath, *timeout)
 		return
 	}
 

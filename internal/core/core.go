@@ -60,6 +60,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -212,6 +213,16 @@ type Options struct {
 	// merge wave's worker builders run untraced and report their rounds
 	// through this coordinating builder.
 	Trace *obs.Trace
+	// Ctx, when non-nil, bounds the build: the merging loop checks it once
+	// per round and Build/BuildSubtree/MergeRoots return a "build cancelled"
+	// error wrapping ctx.Err() as soon as the current round commits, so a
+	// cancelled build returns within one merge round. nil (or
+	// context.Background(), whose Done channel is nil) costs nothing on the
+	// hot path — the loop never reads a clock or allocates for the check.
+	// Carried in Options rather than as a parameter so the sharded
+	// pipeline's many stages thread one cancellation scope without widening
+	// every signature; the dispatch layer overrides it per execution.
+	Ctx context.Context
 	// SneakProbe, when non-nil, records the leash/sneak loop's per-iteration
 	// state (window bounds, infeasibility gap, sneak wire, and the
 	// registry's per-group cumulative offsets) — the instrument for the
@@ -403,10 +414,13 @@ func Build(in *ctree.Instance, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &builder{opt: opt, in: in, uf: &reg.uf}
+	b := &builder{opt: opt, in: in, uf: &reg.uf, done: doneOf(opt.Ctx)}
 	b.initScratch()
 	b.initSinkNodes(nil)
 	b.route()
+	if b.err != nil {
+		return nil, b.err
+	}
 	b.finishRoot()
 	b.stats.GroupUnions += reg.preUnions
 
@@ -536,10 +550,13 @@ func BuildSubtree(in *ctree.Instance, sinkIDs []int, opt Options, reg *Registry)
 			return nil, fmt.Errorf("core: BuildSubtree sink id %d out of range [0, %d)", id, len(in.Sinks))
 		}
 	}
-	b := &builder{opt: opt, in: in, uf: &reg.uf}
+	b := &builder{opt: opt, in: in, uf: &reg.uf, done: doneOf(opt.Ctx)}
 	b.initScratch()
 	b.initSinkNodes(sinkIDs)
 	b.route()
+	if b.err != nil {
+		return nil, b.err
+	}
 	RecordStatsMetrics(opt.Trace, b.stats)
 	return &Subtree{Root: b.root, Stats: b.stats, Trace: opt.Trace}, nil
 }
@@ -564,13 +581,26 @@ func MergeRoots(in *ctree.Instance, roots []*ctree.Node, opt Options, reg *Regis
 	if len(roots) == 0 {
 		return nil, fmt.Errorf("core: MergeRoots over no roots")
 	}
-	b := &builder{opt: opt, in: in, uf: &reg.uf}
+	b := &builder{opt: opt, in: in, uf: &reg.uf, done: doneOf(opt.Ctx)}
 	b.initScratch()
 	b.initRootNodes(roots)
 	b.route()
+	if b.err != nil {
+		return nil, b.err
+	}
 	b.finishRoot()
 	RecordStatsMetrics(opt.Trace, b.stats)
 	return &Subtree{Root: b.root, Stats: b.stats, Trace: opt.Trace}, nil
+}
+
+// doneOf returns ctx's cancellation channel; nil contexts (and
+// context.Background, whose Done is nil) disable the per-round check
+// entirely.
+func doneOf(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
 }
 
 // ZST routes ignoring groups with exact zero global skew (greedy-DME).
@@ -710,6 +740,13 @@ type builder struct {
 	nodes []*ctree.Node
 	root  *ctree.Node
 	stats Stats
+
+	// Cancellation state: done is Options.Ctx's Done channel (nil when the
+	// build is unbounded — Background's Done is already nil, so the per-round
+	// check compiles down to one nil comparison), and err is the cancellation
+	// error route() stopped on; the entry points surface it instead of a tree.
+	done <-chan struct{}
+	err  error
 
 	// arena slab-allocates the tree nodes this builder constructs; b.nodes
 	// points into it. Sink builds (initSinkNodes) put all 2n−1 nodes here;
@@ -994,6 +1031,14 @@ func (b *builder) route() {
 	}
 	q := order.New(ocfg, n, dist)
 	for {
+		if b.done != nil {
+			select {
+			case <-b.done:
+				b.err = fmt.Errorf("core: build cancelled: %w", b.opt.Ctx.Err())
+				return
+			default:
+			}
+		}
 		batch := q.NextBatch()
 		if len(batch) == 0 {
 			break

@@ -1,0 +1,412 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fastOpts keeps retry backoff out of test wall time.
+func fastOpts(phase string) Options {
+	return Options{Phase: phase, BackoffBase: time.Microsecond, BackoffMax: 10 * time.Microsecond}
+}
+
+func TestRunReturnsResultsInOrder(t *testing.T) {
+	r := RunnerFunc(func(ctx context.Context, tk Task) (any, error) {
+		return tk.Index * 10, nil
+	})
+	vals, rep, err := Run(nil, 8, r, fastOpts("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v.(int) != i*10 {
+			t.Errorf("result[%d] = %v, want %d", i, v, i*10)
+		}
+	}
+	if rep.Tasks != 8 || rep.Attempts != 8 || rep.Retries != 0 || rep.Hedges != 0 || rep.PanicsRecovered != 0 {
+		t.Errorf("clean run report = %+v", rep)
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	vals, rep, err := Run(nil, 0, RunnerFunc(func(context.Context, Task) (any, error) {
+		t.Error("runner called for empty dispatch")
+		return nil, nil
+	}), Options{})
+	if err != nil || len(vals) != 0 || rep.Tasks != 0 {
+		t.Fatalf("empty dispatch: vals=%v rep=%+v err=%v", vals, rep, err)
+	}
+}
+
+func TestRetryTransientSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	r := RunnerFunc(func(ctx context.Context, tk Task) (any, error) {
+		if tk.Index == 2 && tk.Attempt == 0 {
+			return nil, MarkTransient(errors.New("flaky"))
+		}
+		calls.Add(1)
+		return "ok", nil
+	})
+	vals, rep, err := Run(nil, 4, r, fastOpts("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[2].(string) != "ok" {
+		t.Errorf("retried task result = %v", vals[2])
+	}
+	if rep.Retries != 1 || rep.Attempts != 5 {
+		t.Errorf("report = %+v, want 1 retry / 5 attempts", rep)
+	}
+}
+
+func TestPermanentFailsFast(t *testing.T) {
+	base := errors.New("bad options")
+	r := RunnerFunc(func(ctx context.Context, tk Task) (any, error) {
+		if tk.Index == 1 {
+			return nil, base
+		}
+		return nil, nil
+	})
+	_, rep, err := Run(nil, 3, r, fastOpts("t"))
+	if err == nil {
+		t.Fatal("permanent failure did not surface")
+	}
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T, want *TaskError", err)
+	}
+	if te.Index != 1 || te.Attempts != 1 || te.Phase != "t" {
+		t.Errorf("TaskError = %+v, want task 1 after exactly 1 attempt", te)
+	}
+	if !errors.Is(err, base) {
+		t.Error("TaskError does not unwrap to the runner's error")
+	}
+	if rep.Retries != 0 {
+		t.Errorf("permanent failure retried: %+v", rep)
+	}
+}
+
+func TestMarkPermanentOverridesPanicClass(t *testing.T) {
+	pe := &PanicError{Phase: "t", Index: 0, Value: "boom"}
+	if DefaultClassify(pe) != Transient {
+		t.Error("bare PanicError should classify Transient")
+	}
+	if DefaultClassify(MarkPermanent(fmt.Errorf("wrap: %w", pe))) != Permanent {
+		t.Error("explicit MarkPermanent should win over the panic rule")
+	}
+	if DefaultClassify(MarkTransient(errors.New("x"))) != Transient {
+		t.Error("MarkTransient ignored")
+	}
+	if DefaultClassify(errors.New("plain")) != Permanent {
+		t.Error("unmarked errors must be Permanent")
+	}
+	if DefaultClassify(context.Canceled) != Permanent {
+		t.Error("cancellation must be Permanent")
+	}
+}
+
+func TestPanicContainedAndRetried(t *testing.T) {
+	r := RunnerFunc(func(ctx context.Context, tk Task) (any, error) {
+		if tk.Index == 0 && tk.Attempt == 0 {
+			panic("worker exploded")
+		}
+		return tk.Index, nil
+	})
+	vals, rep, err := Run(nil, 2, r, fastOpts("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(int) != 0 {
+		t.Errorf("panicked task result = %v", vals[0])
+	}
+	if rep.PanicsRecovered != 1 || rep.Retries != 1 {
+		t.Errorf("report = %+v, want 1 panic recovered + 1 retry", rep)
+	}
+}
+
+func TestPanicEveryAttemptFailsWithoutCrash(t *testing.T) {
+	r := RunnerFunc(func(ctx context.Context, tk Task) (any, error) {
+		panic(fmt.Sprintf("always (attempt %d)", tk.Attempt))
+	})
+	o := fastOpts("t")
+	o.MaxAttempts = 3
+	_, rep, err := Run(nil, 1, r, o)
+	var te *TaskError
+	if !errors.As(err, &te) || te.Attempts != 3 {
+		t.Fatalf("err = %v, want TaskError after 3 attempts", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("terminal error does not unwrap to *PanicError: %v", err)
+	}
+	if pe.Phase != "t" || pe.Index != 0 || pe.Attempt != 2 {
+		t.Errorf("PanicError coordinates = %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack")
+	}
+	if rep.PanicsRecovered != 3 || rep.Retries != 2 {
+		t.Errorf("report = %+v, want 3 panics / 2 retries", rep)
+	}
+}
+
+func TestProtect(t *testing.T) {
+	err := Protect("stitch", func() error { panic("seam") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Phase != "stitch" || pe.Index != -1 {
+		t.Fatalf("Protect returned %v, want *PanicError{Phase: stitch, Index: -1}", err)
+	}
+	base := errors.New("plain failure")
+	if got := Protect("stitch", func() error { return base }); got != base {
+		t.Errorf("Protect altered a plain error: %v", got)
+	}
+	if got := Protect("stitch", func() error { return nil }); got != nil {
+		t.Errorf("Protect invented an error: %v", got)
+	}
+}
+
+func TestFaultPlanCoordinates(t *testing.T) {
+	plan := NewFaultPlan().
+		PanicAt("t", 0, 0).
+		ErrorAt("t", 1, 0, MarkTransient(ErrInjected)).
+		DelayAt("t", 1, 0, time.Millisecond). // composes with the error
+		DelayAt("t", 2, 0, time.Millisecond)
+	if plan.Len() != 3 {
+		t.Fatalf("plan.Len() = %d, want 3", plan.Len())
+	}
+	f, ok := plan.at("t", 1, 0)
+	if !ok || f.Err == nil || f.Delay != time.Millisecond {
+		t.Errorf("composed fault = %+v", f)
+	}
+	if _, ok := plan.at("other", 0, 0); ok {
+		t.Error("fault leaked across phases")
+	}
+
+	var executions atomic.Int32
+	r := RunnerFunc(func(ctx context.Context, tk Task) (any, error) {
+		executions.Add(1)
+		return tk.Index, nil
+	})
+	vals, rep, err := Run(nil, 3, r, Options{Phase: "t", Faults: plan, BackoffBase: time.Microsecond, BackoffMax: time.Microsecond, DisableHedge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v.(int) != i {
+			t.Errorf("result[%d] = %v under faults", i, v)
+		}
+	}
+	if rep.FaultsInjected != 3 || rep.PanicsRecovered != 1 || rep.Retries != 2 {
+		t.Errorf("report = %+v, want 3 faults / 1 panic / 2 retries", rep)
+	}
+}
+
+func TestSeededPlanDeterministicAndSurvivable(t *testing.T) {
+	a := SeededPlan(7, 8, time.Millisecond, "shard")
+	b := SeededPlan(7, 8, time.Millisecond, "shard")
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed, different plans: %d vs %d faults", a.Len(), b.Len())
+	}
+	for k, f := range a.faults {
+		g, ok := b.faults[k]
+		if !ok || g.Panic != f.Panic || (g.Err == nil) != (f.Err == nil) || g.Delay != f.Delay {
+			t.Fatalf("same seed, different fault at %+v: %+v vs %+v", k, f, g)
+		}
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		plan := SeededPlan(seed, 8, 0, "shard")
+		r := RunnerFunc(func(ctx context.Context, tk Task) (any, error) { return tk.Index, nil })
+		o := fastOpts("shard")
+		o.Faults = plan
+		vals, _, err := Run(nil, 8, r, o)
+		if err != nil {
+			t.Fatalf("seed %d: default policy did not survive the plan: %v", seed, err)
+		}
+		for i, v := range vals {
+			if v.(int) != i {
+				t.Fatalf("seed %d: result[%d] = %v", seed, i, v)
+			}
+		}
+	}
+}
+
+func TestHedgeStragglerFirstResultWins(t *testing.T) {
+	// Task 3's first attempt straggles until cancelled; its hedge (and every
+	// other task) returns promptly. The dispatcher must hedge exactly once,
+	// take the hedge's result, and cancel the straggler on the way out.
+	straggled := make(chan struct{})
+	r := RunnerFunc(func(ctx context.Context, tk Task) (any, error) {
+		if tk.Index == 3 && tk.Attempt == 0 {
+			defer close(straggled)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return tk.Index, nil
+	})
+	o := Options{
+		Phase:         "t",
+		HedgeQuantile: 0.5,
+		HedgeFactor:   1,
+		HedgeSlack:    time.Millisecond,
+	}
+	vals, rep, err := Run(nil, 4, r, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[3].(int) != 3 {
+		t.Errorf("straggler result = %v, want the hedge's 3", vals[3])
+	}
+	if rep.Hedges != 1 {
+		t.Errorf("Hedges = %d, want exactly 1", rep.Hedges)
+	}
+	if rep.Attempts != 5 {
+		t.Errorf("Attempts = %d, want 5 (one extra for the single hedge)", rep.Attempts)
+	}
+	select {
+	case <-straggled:
+	default:
+		t.Error("straggling execution outlived Run")
+	}
+}
+
+func TestHedgeAtMostOncePerTask(t *testing.T) {
+	// The straggler ignores its hedge too; both executions block until the
+	// run context dies. A second hedge for the same task must never launch.
+	r := RunnerFunc(func(ctx context.Context, tk Task) (any, error) {
+		if tk.Index == 0 {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return tk.Index, nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	o := Options{
+		Phase:         "t",
+		HedgeQuantile: 0.5,
+		HedgeFactor:   1,
+		HedgeSlack:    time.Millisecond,
+	}
+	_, rep, err := Run(ctx, 3, r, o)
+	if err == nil {
+		t.Fatal("a task whose every execution hangs should fail on cancellation")
+	}
+	if rep.Hedges > 1 {
+		t.Errorf("Hedges = %d, want at most 1 per task", rep.Hedges)
+	}
+	if rep.Hedges == 0 {
+		// The hedge deadline is milliseconds against a 1s context; missing it
+		// means the coordinator was starved for the whole second (loaded CI),
+		// not that hedging is broken — the ≤1 bound above is the contract.
+		t.Log("hedge never fired before cancellation (starved scheduler?)")
+	}
+}
+
+func TestCancellationUnwindsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := RunnerFunc(func(c context.Context, tk Task) (any, error) {
+		if tk.Index == 0 {
+			cancel() // first task pulls the plug on the whole dispatch
+		}
+		<-c.Done()
+		return nil, c.Err()
+	})
+	start := time.Now()
+	_, _, err := Run(ctx, 4, r, Options{Phase: "t", DisableHedge: true})
+	if err == nil {
+		t.Fatal("cancelled dispatch returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not unwrap to context.Canceled", err)
+	}
+	// Generous against race-detector slowdown and loaded CI: the point is
+	// that unwinding is bounded at all, not a latency target.
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Errorf("cancellation took %v to unwind", elapsed)
+	}
+}
+
+func TestBackoffCappedExponential(t *testing.T) {
+	c := &coord{o: Options{BackoffBase: 5 * time.Millisecond, BackoffMax: 35 * time.Millisecond}}
+	want := []time.Duration{
+		5 * time.Millisecond,  // retry 1
+		10 * time.Millisecond, // retry 2
+		20 * time.Millisecond, // retry 3
+		35 * time.Millisecond, // retry 4 would be 40ms: capped
+		35 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := c.backoffFor(i + 1); got != w {
+			t.Errorf("backoffFor(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestQuantileDur(t *testing.T) {
+	durs := []time.Duration{40, 10, 30, 20} // unsorted on purpose
+	if got := quantileDur(durs, 0.5); got != 20 {
+		t.Errorf("median = %v, want 20", got)
+	}
+	if got := quantileDur(durs, 1); got != 40 {
+		t.Errorf("max quantile = %v, want 40", got)
+	}
+	if got := quantileDur([]time.Duration{7}, 0.5); got != 7 {
+		t.Errorf("singleton quantile = %v, want 7", got)
+	}
+	if durs[0] != 40 {
+		t.Error("quantileDur mutated its input")
+	}
+}
+
+func TestDispatchMetricsOnTrace(t *testing.T) {
+	plan := NewFaultPlan().
+		PanicAt("t", 0, 0).
+		ErrorAt("t", 1, 0, MarkTransient(ErrInjected))
+	tr := obs.New("dispatch-test")
+	r := RunnerFunc(func(ctx context.Context, tk Task) (any, error) { return tk.Index, nil })
+	o := fastOpts("t")
+	o.Faults = plan
+	o.Trace = tr
+	_, rep, err := Run(nil, 2, r, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	for name, want := range map[string]int{
+		obs.MetricDispatchRetries: rep.Retries,
+		obs.MetricDispatchPanics:  rep.PanicsRecovered,
+		obs.MetricDispatchFaults:  rep.FaultsInjected,
+	} {
+		got, ok := tr.MetricValue(name)
+		if !ok || got != float64(want) {
+			t.Errorf("%s = %v (found %v), report says %d", name, got, ok, want)
+		}
+	}
+}
+
+// TestDispatchAllocOverhead pins the fault layer's own cost: a clean (no
+// fault, no retry, no hedge) dispatch is a fixed per-task overhead —
+// goroutine, context, bookkeeping — independent of what the tasks do, so
+// wrapping shard builds in the dispatcher adds nothing per route.
+func TestDispatchAllocOverhead(t *testing.T) {
+	const perTaskBudget = 40 // observed ~20 allocs/task; headroom for runtime drift
+	r := RunnerFunc(func(ctx context.Context, tk Task) (any, error) { return nil, nil })
+	o := Options{Phase: "t", DisableHedge: true}
+	for _, n := range []int{4, 16} {
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, _, err := Run(nil, n, r, o); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("n=%d: %.1f allocs/run (%.1f per task)", n, allocs, allocs/float64(n))
+		if allocs > float64(n*perTaskBudget) {
+			t.Errorf("n=%d dispatch allocations = %.0f, budget %d", n, allocs, n*perTaskBudget)
+		}
+	}
+}

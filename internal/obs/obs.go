@@ -73,6 +73,15 @@ const (
 	MetricWaveBatchMax  = "merge_wave_batch_max"
 	MetricPairingNS     = "pairing_ns"
 	MetricGridRebuildNS = "grid_rebuild_ns"
+	// Dispatch fault-handling counters (internal/dispatch): retries
+	// scheduled after transient failures, hedged straggler duplicates,
+	// panics contained into per-task errors, and planned faults injected
+	// (FaultPlan runs only). Recorded on the dispatching trace, so sharded
+	// runs sum the pilot and shard phases via MetricValue.
+	MetricDispatchRetries = "dispatch_retries"
+	MetricDispatchHedges  = "dispatch_hedges"
+	MetricDispatchPanics  = "dispatch_panics_recovered"
+	MetricDispatchFaults  = "dispatch_faults_injected"
 )
 
 // span is one recorded region. Fixed-size (inline attrs) so the arena is a

@@ -38,8 +38,10 @@
 package order
 
 import (
+	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -616,10 +618,28 @@ func ParallelChunks(n int, f func(lo, hi int)) {
 	ParallelChunksN(n, runtime.GOMAXPROCS(0), parallelMin, f)
 }
 
+// WorkerPanic is a panic captured on a ParallelChunks worker goroutine and
+// re-raised on the calling goroutine. A panic left on a spawned goroutine is
+// unrecoverable anywhere else and kills the process; funneling it through
+// the caller lets a recover at the phase boundary (the dispatch layer's
+// panic containment) turn it into an error instead. Value is the original
+// panic value, Stack the worker goroutine's stack at capture.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+func (w *WorkerPanic) Error() string {
+	return fmt.Sprintf("order: parallel worker panicked: %v\n%s", w.Value, w.Stack)
+}
+
 // ParallelChunksN is ParallelChunks with an explicit worker count and inline
 // threshold: n below minInline (or workers ≤ 1) runs f(0, n) on the calling
 // goroutine. Used by the router's parallel merge executor, whose worker
-// count is an option rather than GOMAXPROCS.
+// count is an option rather than GOMAXPROCS. A panicking chunk does not kill
+// the process: the remaining chunks finish, then the first captured panic is
+// re-raised on the calling goroutine as a *WorkerPanic (the inline path lets
+// the panic propagate directly — it is already on the caller).
 func ParallelChunksN(n, workers, minInline int, f func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -633,6 +653,8 @@ func ParallelChunksN(n, workers, minInline int, f func(lo, hi int)) {
 	}
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicked *WorkerPanic
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -641,8 +663,20 @@ func ParallelChunksN(n, workers, minInline int, f func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = &WorkerPanic{Value: r, Stack: debug.Stack()}
+					}
+					panicMu.Unlock()
+				}
+			}()
 			f(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }

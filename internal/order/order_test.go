@@ -244,3 +244,51 @@ func TestNextBatchMatchesNext(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelChunksPanicPropagates pins the goroutine-panic funnel: a panic
+// on any worker chunk must surface as a *WorkerPanic re-raised on the calling
+// goroutine (where a phase-boundary recover can contain it), never die on the
+// spawned goroutine and kill the process — and the sibling chunks must all
+// have finished before it is re-raised.
+func TestParallelChunksPanicPropagates(t *testing.T) {
+	const n = 1024
+	var ran [n]bool
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		ParallelChunksN(n, 4, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ran[i] = true
+			}
+			if lo == 0 {
+				panic("chunk zero exploded")
+			}
+		})
+	}()
+	wp, ok := recovered.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *WorkerPanic", recovered, recovered)
+	}
+	if wp.Value != "chunk zero exploded" {
+		t.Errorf("WorkerPanic.Value = %v", wp.Value)
+	}
+	if len(wp.Stack) == 0 {
+		t.Error("WorkerPanic carries no worker stack")
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("chunk containing %d never finished before the re-raise", i)
+		}
+	}
+
+	// The inline path (workers ≤ 1) keeps the raw panic: it is already on the
+	// calling goroutine, so wrapping it would only bury the original value.
+	var inline any
+	func() {
+		defer func() { inline = recover() }()
+		ParallelChunksN(8, 1, 1, func(lo, hi int) { panic("inline") })
+	}()
+	if inline != "inline" {
+		t.Errorf("inline path panic = %v, want the raw value", inline)
+	}
+}

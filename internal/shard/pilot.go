@@ -1,12 +1,16 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/ctree"
+	"repro/internal/dispatch"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Pilot sample geometry. The estimator is a median over pilotPatches
@@ -138,6 +142,16 @@ func nearestPatch(in *ctree.Instance, candidates []int, anchor geom.UV, q int) [
 	return ids
 }
 
+// pilotOut is one patch route's product: the route's cost and the offset
+// contract its registry committed (offsErr when it left a group unrelated —
+// a valid outcome, not an execution failure: the pass votes without it or
+// escalates the patch size).
+type pilotOut struct {
+	stats   core.Stats
+	est     []float64
+	offsErr error
+}
+
 // runPilot is the pilot offset pass: route pilotPatches deterministic patch
 // samples with the unsharded engine (BuildSubtree + MergeRoots on a fresh
 // registry each — the exact decomposition of core.Build), read each route's
@@ -151,59 +165,104 @@ func nearestPatch(in *ctree.Instance, candidates []int, anchor geom.UV, q int) [
 // sink set — whose final root spans every group and therefore always
 // commits one. opt must be the normalized sub-build options (Shards and
 // Pilot cleared, no GroupOffsets).
-func runPilot(in *ctree.Instance, opt core.Options) (offs []float64, stats core.Stats, sinks int, err error) {
+//
+// The patch routes of one escalation round execute through the dispatch
+// coordinator (phase "pilot"): concurrently, with panic containment, retry
+// and hedging, and every execution on a fresh registry — a patch route is a
+// pure function of (instance, sample, options), so the pass's estimates are
+// identical whichever attempt delivers them. Estimates are aggregated in
+// patch-index order, keeping the median's inputs deterministic.
+func runPilot(in *ctree.Instance, opt core.Options, dopt dispatch.Options) (offs []float64, stats core.Stats, sinks int, rep dispatch.Report, err error) {
 	p := pilotPatches
 	if p > len(in.Sinks) {
 		p = len(in.Sinks)
 	}
 	parts := Partition(in, p)
+	dopt.Phase = "pilot"
+	dopt.Trace = opt.Trace
 	for q := pilotPatchSinks; ; q *= 4 {
-		var ests [][]float64
-		for pi, part := range parts {
+		// Samples are computed serially up front: they are cheap relative to
+		// their routes, and the first sample that degenerates to the full
+		// sink set bounds the dispatch — the parts after it would repeat the
+		// identical full route bitwise, so they are never dispatched.
+		samples := make([][]int, 0, len(parts))
+		for _, part := range parts {
 			ids := pilotPatchSample(in, part, q)
-			isFull := len(ids) == len(in.Sinks)
-			sinks += len(ids)
-			// One span per patch route on the pilot's trace (the spans of
-			// the patch's own build nest under it, and its metrics
-			// accumulate into the pilot trace's registry).
-			rgn := opt.Trace.Begin("patch").
-				Attr("index", float64(pi)).
-				Attr("sinks", float64(len(ids)))
-			reg, err := core.NewRegistry(in, opt)
-			if err != nil {
-				return nil, stats, sinks, err
+			samples = append(samples, ids)
+			if len(ids) == len(in.Sinks) {
+				break
 			}
-			sub, err := core.BuildSubtree(in, ids, opt, reg)
-			if err != nil {
-				return nil, stats, sinks, err
+		}
+
+		// One child trace per patch route (spans and metrics of the patch's
+		// own build nest under it; the pilot trace aggregates over children
+		// via MetricValue). Only a patch's first attempt records — the trace
+		// contract is single-goroutine per node, and retries/hedges may race
+		// the attempt they replace.
+		patchTraces := make([]*obs.Trace, len(samples))
+		if opt.Trace != nil {
+			for pi := range patchTraces {
+				patchTraces[pi] = opt.Trace.Child("patch" + strconv.Itoa(pi))
 			}
-			stats.AddRun(sub.Stats)
+		}
+		runner := dispatch.RunnerFunc(func(ctx context.Context, t dispatch.Task) (any, error) {
+			po := opt
+			po.Ctx = ctx
+			po.Trace = nil
+			if t.Attempt == 0 {
+				po.Trace = patchTraces[t.Index]
+			}
+			reg, err := core.NewRegistry(in, po)
+			if err != nil {
+				return nil, err
+			}
+			var out pilotOut
+			sub, err := core.BuildSubtree(in, samples[t.Index], po, reg)
+			if err != nil {
+				return nil, err
+			}
+			out.stats.AddRun(sub.Stats)
 			// Commit the patch root (BuildSubtree leaves it deferred):
 			// resolving it registers the offsets of every group pair the
 			// patch relates, exactly as core.Build's final step would.
-			top, err := core.MergeRoots(in, []*ctree.Node{sub.Root}, opt, reg)
+			top, err := core.MergeRoots(in, []*ctree.Node{sub.Root}, po, reg)
 			if err != nil {
-				return nil, stats, sinks, err
+				return nil, err
 			}
-			stats.AddRun(top.Stats)
-			rgn.End()
-			est, err := reg.Offsets()
-			if err != nil {
-				if isFull {
+			out.stats.AddRun(top.Stats)
+			out.est, out.offsErr = reg.Offsets()
+			return out, nil
+		})
+		outs, prep, err := dispatch.Run(opt.Ctx, len(samples), runner, dopt)
+		rep.Add(prep)
+		for _, pt := range patchTraces {
+			pt.Close()
+		}
+		if err != nil {
+			return nil, stats, sinks, rep, err
+		}
+
+		var ests [][]float64
+		for pi, o := range outs {
+			out := o.(pilotOut)
+			sinks += len(samples[pi])
+			stats.AddRun(out.stats)
+			if out.offsErr != nil {
+				if len(samples[pi]) == len(in.Sinks) {
 					// The full instance could not relate every group; no
 					// larger sample exists, so no contract can be committed.
-					return nil, stats, sinks, fmt.Errorf("shard: pilot could not commit a complete offset contract: %w", err)
+					return nil, stats, sinks, rep, fmt.Errorf("shard: pilot could not commit a complete offset contract: %w", out.offsErr)
 				}
 				continue
 			}
-			if isFull {
+			if len(samples[pi]) == len(in.Sinks) {
 				// A sample that degenerated to the full sink set routed the
-				// exact contract — it outvotes every patch estimate, and the
-				// remaining parts would repeat the identical route bitwise.
-				ests = [][]float64{est}
+				// exact contract — it outvotes every patch estimate (and the
+				// remaining parts were never dispatched).
+				ests = [][]float64{out.est}
 				break
 			}
-			ests = append(ests, est)
+			ests = append(ests, out.est)
 		}
 		if len(ests) > 0 {
 			offs = make([]float64, in.NumGroups)
@@ -216,7 +275,7 @@ func runPilot(in *ctree.Instance, opt core.Options) (offs []float64, stats core.
 				sort.Float64s(vals)
 				offs[g] = vals[(len(vals)-1)/2]
 			}
-			return offs, stats, sinks, nil
+			return offs, stats, sinks, rep, nil
 		}
 	}
 }

@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"runtime/pprof"
 	"strconv"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/ctree"
+	"repro/internal/dispatch"
 	"repro/internal/geom"
 	"repro/internal/obs"
 )
@@ -68,6 +68,12 @@ type Result struct {
 	// finalize phases, with the pilot, each shard build, and the stitch
 	// recording into child traces ("pilot", "shard0"…, "stitch").
 	Trace *obs.Trace
+	// Dispatch sums what fault handling cost across the run's dispatched
+	// phases (pilot patches + shard builds): attempts, retries, hedged
+	// straggler duplicates, contained panics, injected faults. All zero on
+	// a fault-free run with no stragglers. The same counters are exported
+	// as dispatch_* metrics on Trace.
+	Dispatch dispatch.Report
 }
 
 // Build routes the instance according to opt.Shards: 0 delegates to the
@@ -85,7 +91,27 @@ type Result struct {
 // of committing k contradictory ones (the package comment has the design).
 // The pass is skipped on single-group instances, where no inter-group
 // offset exists to prescribe.
+//
+// Sub-builds execute through the internal/dispatch coordinator under its
+// default fault policy: a panicking shard or pilot patch surfaces as an
+// error naming the phase (never a process crash), contained crashes retry
+// with capped backoff, stragglers are hedged first-result-wins, and
+// opt.Ctx cancellation propagates into every merge loop. Determinism is
+// unaffected: every execution of a sub-build is a pure function of its
+// inputs, so retried and hedged runs are bitwise-identical to undisturbed
+// ones. BuildDispatch exposes the policy knobs (and the fault-injection
+// harness) directly.
 func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
+	return BuildDispatch(in, opt, dispatch.Options{})
+}
+
+// BuildDispatch is Build with an explicit dispatch policy: dopt tunes the
+// fault-tolerance layer (retry budget and backoff, hedging deadline, worker
+// cap, fault injection via dopt.Faults). dopt.Phase and dopt.Trace are
+// overridden per pipeline phase ("pilot", "shard"); everything else applies
+// to every dispatched phase unchanged. The zero value is the default policy
+// Build uses.
+func BuildDispatch(in *ctree.Instance, opt core.Options, dopt dispatch.Options) (*Result, error) {
 	k := opt.Shards
 	if k <= 0 {
 		res, err := core.Build(in, opt) // rejects a stray opt.Pilot itself
@@ -119,9 +145,16 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 	}
 
 	partRgn := tr.Begin("partition")
-	parts := Partition(in, k)
+	var parts [][]int
+	if err := dispatch.Protect("partition", func() error {
+		parts = Partition(in, k)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	partRgn.End()
 
+	var disp dispatch.Report
 	var pilotOffs []float64
 	var pilotStats core.Stats
 	pilotSinks := 0
@@ -131,8 +164,15 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 		if tr != nil {
 			pilotOpt.Trace = tr.Child("pilot")
 		}
-		var err error
-		pilotOffs, pilotStats, pilotSinks, err = runPilot(in, pilotOpt)
+		// Protect the pass's serial sections (sampling, median aggregation)
+		// too: the dispatcher only contains panics inside patch executions.
+		err := dispatch.Protect("pilot", func() error {
+			var err error
+			var rep dispatch.Report
+			pilotOffs, pilotStats, pilotSinks, rep, err = runPilot(in, pilotOpt, dopt)
+			disp.Add(rep)
+			return err
+		})
 		pilotOpt.Trace.Close()
 		if err != nil {
 			return nil, err
@@ -169,33 +209,62 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 		shardOpt.SneakProbe = nil
 	}
 
+	// The shard builds go through the dispatch coordinator: each execution
+	// (first attempt, retry or hedge alike) clones the frozen base registry
+	// privately and routes its shard from scratch — a pure function of
+	// (instance, part, options, base), so whichever execution wins, the
+	// adopted subtree is bitwise the one the undisturbed build produces.
+	// Only the first attempt records into the per-shard child trace (the
+	// trace contract is single-goroutine per node; a retry racing a traced
+	// hedge would otherwise interleave writes), so under faults a shard's
+	// child trace shows the failed attempt while the metrics-bearing result
+	// comes from the winner.
 	shardsRgn := tr.Begin("shards").Attr("count", float64(k))
-	subs := make([]*core.Subtree, k)
-	regs := make([]*core.Registry, k)
-	errs := make([]error, k)
-	var wg sync.WaitGroup
-	for i := range parts {
-		regs[i] = base.Clone() // private view of the frozen base
-		so := shardOpt
-		if tr != nil {
-			so.Trace = tr.Child("shard" + strconv.Itoa(i))
+	shardTraces := make([]*obs.Trace, k)
+	if tr != nil {
+		for i := range shardTraces {
+			shardTraces[i] = tr.Child("shard" + strconv.Itoa(i))
 		}
-		wg.Add(1)
-		go func(i int, so core.Options) {
-			defer wg.Done()
-			// Label the goroutine so -cpuprofile samples attribute to shards.
-			pprof.Do(context.Background(), pprof.Labels("shard", strconv.Itoa(i)), func(context.Context) {
-				subs[i], errs[i] = core.BuildSubtree(in, parts[i], so, regs[i])
-			})
-			so.Trace.Close()
-		}(i, so)
 	}
-	wg.Wait()
-	shardsRgn.End()
-	for _, err := range errs {
+	type shardOut struct {
+		sub *core.Subtree
+		reg *core.Registry
+	}
+	runner := dispatch.RunnerFunc(func(ctx context.Context, t dispatch.Task) (any, error) {
+		so := shardOpt
+		so.Ctx = ctx
+		if t.Attempt == 0 {
+			so.Trace = shardTraces[t.Index]
+		}
+		reg := base.Clone() // private view of the frozen base
+		var sub *core.Subtree
+		var err error
+		// Label the goroutine so -cpuprofile samples attribute to shards.
+		pprof.Do(ctx, pprof.Labels("shard", strconv.Itoa(t.Index)), func(context.Context) {
+			sub, err = core.BuildSubtree(in, parts[t.Index], so, reg)
+		})
 		if err != nil {
 			return nil, err
 		}
+		return shardOut{sub: sub, reg: reg}, nil
+	})
+	shardDopt := dopt
+	shardDopt.Phase = "shard"
+	shardDopt.Trace = tr
+	outs, rep, err := dispatch.Run(opt.Ctx, k, runner, shardDopt)
+	disp.Add(rep)
+	for _, st := range shardTraces {
+		st.Close()
+	}
+	shardsRgn.End()
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]*core.Subtree, k)
+	regs := make([]*core.Registry, k)
+	for i, out := range outs {
+		so := out.(shardOut)
+		subs[i], regs[i] = so.sub, so.reg
 	}
 
 	roots := make([]*ctree.Node, k)
@@ -217,7 +286,15 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 	if tr != nil {
 		stitchOpt.Trace = tr.Child("stitch")
 	}
-	top, err := core.MergeRoots(in, roots, stitchOpt, topReg)
+	// The stitch is a single serial merge pass on this goroutine; Protect
+	// gives it the same containment guarantee as the dispatched builds — a
+	// panic surfaces as an error naming the phase, never a crash.
+	var top *core.Subtree
+	err = dispatch.Protect("stitch", func() error {
+		var err error
+		top, err = core.MergeRoots(in, roots, stitchOpt, topReg)
+		return err
+	})
 	stitchOpt.Trace.Close()
 	stitchRgn.End()
 	if err != nil {
@@ -238,39 +315,45 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 		PilotSinks:   pilotSinks,
 		PilotStats:   pilotStats,
 		Trace:        tr,
+		Dispatch:     disp,
 	}
-	var agg core.Stats
-	agg.AddRun(pilotStats) // zero when the pilot was off
-	var shardWire float64
-	for i, s := range subs {
-		w := roots[i].Wirelength()
-		res.Shards[i] = ShardInfo{Sinks: len(parts[i]), Wirelength: w, Stats: s.Stats}
-		shardWire += w
-		agg.AddRun(s.Stats)
-	}
-	agg.AddRun(top.Stats)
-	agg.GroupUnions += base.PreUnions()
-	res.Stats = agg
+	if err := dispatch.Protect("finalize", func() error {
+		var agg core.Stats
+		agg.AddRun(pilotStats) // zero when the pilot was off
+		var shardWire float64
+		for i, s := range subs {
+			w := roots[i].Wirelength()
+			res.Shards[i] = ShardInfo{Sinks: len(parts[i]), Wirelength: w, Stats: s.Stats}
+			shardWire += w
+			agg.AddRun(s.Stats)
+		}
+		agg.AddRun(top.Stats)
+		agg.GroupUnions += base.PreUnions()
+		res.Stats = agg
 
-	if k > 1 {
-		// Internal node IDs were assigned per shard (and restart in the
-		// stitch); renumber them densely above the sink IDs so IDs are
-		// unique within the run, as core.Build guarantees. Shards = 1 takes
-		// the unsharded numbering as-is, preserving bitwise identity.
-		next := len(in.Sinks)
-		top.Root.Visit(func(n *ctree.Node) {
-			if !n.IsLeaf() {
-				n.ID = next
-				next++
-			}
-		})
-	}
+		if k > 1 {
+			// Internal node IDs were assigned per shard (and restart in the
+			// stitch); renumber them densely above the sink IDs so IDs are
+			// unique within the run, as core.Build guarantees. Shards = 1 takes
+			// the unsharded numbering as-is, preserving bitwise identity.
+			next := len(in.Sinks)
+			top.Root.Visit(func(n *ctree.Node) {
+				if !n.IsLeaf() {
+					n.ID = next
+					next++
+				}
+			})
+		}
 
-	treeWire := top.Root.Wirelength()
-	res.SourceWire = geom.DistRP(top.Root.Region, geom.ToUV(in.Source))
-	res.Wirelength = treeWire + res.SourceWire
-	res.StitchWire = treeWire - shardWire
-	res.Root.Embed(geom.ToUV(in.Source))
+		treeWire := top.Root.Wirelength()
+		res.SourceWire = geom.DistRP(top.Root.Region, geom.ToUV(in.Source))
+		res.Wirelength = treeWire + res.SourceWire
+		res.StitchWire = treeWire - shardWire
+		res.Root.Embed(geom.ToUV(in.Source))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	finRgn.End()
 	return res, nil
 }
