@@ -13,6 +13,8 @@
 //	astdme -algo ast -trace out.json -in i.json   # phase trace + provenance
 //	astdme -algo ast -timeout 30s -in i.json      # abort the build after 30s
 //	astdme -algo zst -shards 4 -chaos 1 -in i.json # fault-injected dispatch
+//	astdme -algo ast -shards 4 -workers 127.0.0.1:9301,127.0.0.1:9302 -in i.json
+//	                                              # remote shard dispatch
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -49,6 +52,7 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a JSON phase trace (spans, metrics, provenance) to this file (ast/extbst/zst only)")
 		timeout    = flag.Duration("timeout", 0, "abort the build after this long, e.g. 30s (ast/extbst/zst only; 0 = unbounded)")
 		chaosSeed  = flag.Int64("chaos", 0, "seeded fault injection into the shard dispatcher: panics, transient errors, stragglers (requires -shards; the routed tree stays bitwise identical)")
+		workers    = flag.String("workers", "", "comma-separated routeworker addresses (host:port) to ship shard and pilot builds to (requires -shards; degrades to in-process on fleet loss)")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -59,36 +63,15 @@ func main() {
 	// silently ignoring one of them.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if set["regions"] && !set["svg"] {
-		fatal(fmt.Errorf("-regions draws into the SVG rendering and requires -svg"))
-	}
-	if *shards > 0 && *algo == "stitch" {
-		fatal(fmt.Errorf("-shards applies to the core router (ast/extbst/zst); the stitch baseline builds per-group trees and cannot shard"))
-	}
-	if set["bound"] && *algo == "zst" {
-		fatal(fmt.Errorf("-bound is meaningless for zst (exact zero skew); drop it or use -algo extbst"))
-	}
-	if *tracePath != "" && *algo == "stitch" {
-		fatal(fmt.Errorf("-trace records the core router's phase timings (ast/extbst/zst); the stitch baseline is untraced"))
-	}
-	if *pilot {
-		if *algo != "ast" {
-			fatal(fmt.Errorf("-pilot aligns inter-group offsets across shards and requires -algo ast (%s has no groups to align)", *algo))
-		}
-		if *shards == 0 {
-			fatal(fmt.Errorf("-pilot requires -shards ≥ 1 (the pilot pass exists to align shard builds)"))
-		}
-	}
-	if set["timeout"] {
-		if *timeout <= 0 {
-			fatal(fmt.Errorf("-timeout must be positive (got %v); drop it to run unbounded", *timeout))
-		}
-		if *algo == "stitch" {
-			fatal(fmt.Errorf("-timeout cancels the core router's merge loop (ast/extbst/zst); the stitch baseline does not observe it"))
-		}
-	}
-	if set["chaos"] && *shards == 0 {
-		fatal(fmt.Errorf("-chaos injects faults into the shard dispatcher and requires -shards ≥ 1"))
+	if err := validateFlags(set, cliFlags{
+		Algo:    *algo,
+		Shards:  *shards,
+		Pilot:   *pilot,
+		Timeout: *timeout,
+		Trace:   *tracePath,
+		Workers: *workers,
+	}); err != nil {
+		fatal(err)
 	}
 
 	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
@@ -129,7 +112,23 @@ func main() {
 		if n < 5 {
 			n = 5 // the pilot phase dispatches up to 5 patch routes
 		}
-		dopt.Faults = dispatch.SeededPlan(*chaosSeed, n, 2*time.Millisecond, "pilot", "shard")
+		plan := dispatch.SeededPlan(*chaosSeed, n, 2*time.Millisecond, "pilot", "shard")
+		if *workers != "" {
+			// Remote chaos also exercises the transport: seeded connection
+			// drops and corrupted responses at the same (phase, task,
+			// attempt) coordinates, all surfacing transient.
+			plan = plan.Merge(dispatch.SeededNetPlan(*chaosSeed, n, "pilot", "shard"))
+		}
+		dopt.Faults = plan
+	}
+	var pool *dispatch.WorkerPool
+	if *workers != "" {
+		pool, err = dispatch.NewWorkerPool(strings.Split(*workers, ","), dispatch.PoolOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		defer pool.Close()
+		dopt.Remote = pool
 	}
 
 	var root *ctree.Node
@@ -198,9 +197,14 @@ func main() {
 			fmt.Printf("  shard %d:        %d sinks, wire %.0f, scans %d, rebuilds %d\n",
 				i, si.Sinks, si.Wirelength, si.Stats.PairScans, si.Stats.GridRebuilds.Total())
 		}
-		if d := sharded.Dispatch; d.Retries+d.Hedges+d.PanicsRecovered+d.FaultsInjected > 0 {
+		if d := sharded.Dispatch; d.Retries+d.Hedges+d.PanicsRecovered+d.FaultsInjected+d.RemoteFallbacks+d.WorkersLost > 0 {
 			fmt.Printf("dispatch:         %d retries, %d hedges, %d panics recovered, %d faults injected\n",
 				d.Retries, d.Hedges, d.PanicsRecovered, d.FaultsInjected)
+		}
+		if pool != nil {
+			d := sharded.Dispatch
+			fmt.Printf("remote:           %d workers (%d healthy), %d fallbacks, %d lost\n",
+				pool.Workers(), pool.Healthy(), d.RemoteFallbacks, d.WorkersLost)
 		}
 	}
 
@@ -227,6 +231,64 @@ func main() {
 		fmt.Printf("trace:            %s\n", *tracePath)
 		fmt.Printf("phases:           %s\n", tr.Report())
 	}
+}
+
+// cliFlags carries the parsed flag values validateFlags cross-checks
+// (set-ness travels separately, in the visit map, because several rules
+// distinguish "explicitly given" from "default value").
+type cliFlags struct {
+	Algo    string
+	Shards  int
+	Pilot   bool
+	Timeout time.Duration
+	Trace   string
+	Workers string
+}
+
+// validateFlags refuses contradictory flag combinations instead of silently
+// ignoring one of them. Extracted from main so the rejection matrix is unit
+// testable.
+func validateFlags(set map[string]bool, f cliFlags) error {
+	if set["regions"] && !set["svg"] {
+		return fmt.Errorf("-regions draws into the SVG rendering and requires -svg")
+	}
+	if f.Shards > 0 && f.Algo == "stitch" {
+		return fmt.Errorf("-shards applies to the core router (ast/extbst/zst); the stitch baseline builds per-group trees and cannot shard")
+	}
+	if set["bound"] && f.Algo == "zst" {
+		return fmt.Errorf("-bound is meaningless for zst (exact zero skew); drop it or use -algo extbst")
+	}
+	if f.Trace != "" && f.Algo == "stitch" {
+		return fmt.Errorf("-trace records the core router's phase timings (ast/extbst/zst); the stitch baseline is untraced")
+	}
+	if f.Pilot {
+		if f.Algo != "ast" {
+			return fmt.Errorf("-pilot aligns inter-group offsets across shards and requires -algo ast (%s has no groups to align)", f.Algo)
+		}
+		if f.Shards == 0 {
+			return fmt.Errorf("-pilot requires -shards ≥ 1 (the pilot pass exists to align shard builds)")
+		}
+	}
+	if set["timeout"] {
+		if f.Timeout <= 0 {
+			return fmt.Errorf("-timeout must be positive (got %v); drop it to run unbounded", f.Timeout)
+		}
+		if f.Algo == "stitch" {
+			return fmt.Errorf("-timeout cancels the core router's merge loop (ast/extbst/zst); the stitch baseline does not observe it")
+		}
+	}
+	if set["chaos"] && f.Shards == 0 {
+		return fmt.Errorf("-chaos injects faults into the shard dispatcher and requires -shards ≥ 1")
+	}
+	if set["workers"] {
+		if f.Workers == "" {
+			return fmt.Errorf("-workers needs at least one host:port address")
+		}
+		if f.Shards == 0 {
+			return fmt.Errorf("-workers ships shard builds to routeworkers and requires -shards ≥ 1")
+		}
+	}
+	return nil
 }
 
 // buildFailure maps a deadline-driven cancellation onto a one-line

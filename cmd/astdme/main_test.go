@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		set  map[string]bool
+		f    cliFlags
+		want string // substring of the error, "" = accept
+	}{
+		{"defaults", nil, cliFlags{Algo: "ast"}, ""},
+		{"regions without svg", map[string]bool{"regions": true}, cliFlags{Algo: "ast"}, "-svg"},
+		{"shards with stitch", nil, cliFlags{Algo: "stitch", Shards: 4}, "cannot shard"},
+		{"bound with zst", map[string]bool{"bound": true}, cliFlags{Algo: "zst"}, "zst"},
+		{"trace with stitch", nil, cliFlags{Algo: "stitch", Trace: "t.json"}, "untraced"},
+		{"pilot without ast", nil, cliFlags{Algo: "zst", Pilot: true, Shards: 2}, "-algo ast"},
+		{"pilot without shards", nil, cliFlags{Algo: "ast", Pilot: true}, "-shards"},
+		{"zero timeout", map[string]bool{"timeout": true}, cliFlags{Algo: "ast"}, "positive"},
+		{"timeout with stitch", map[string]bool{"timeout": true}, cliFlags{Algo: "stitch", Timeout: time.Second}, "stitch"},
+		{"chaos without shards", map[string]bool{"chaos": true}, cliFlags{Algo: "ast"}, "-shards"},
+		{"workers empty value", map[string]bool{"workers": true}, cliFlags{Algo: "ast", Shards: 2}, "host:port"},
+		{"workers without shards", map[string]bool{"workers": true}, cliFlags{Algo: "ast", Workers: "127.0.0.1:9"}, "-shards"},
+		{"workers with shards", map[string]bool{"workers": true}, cliFlags{Algo: "ast", Shards: 2, Workers: "127.0.0.1:9"}, ""},
+		{"workers with chaos and pilot", map[string]bool{"workers": true, "chaos": true},
+			cliFlags{Algo: "ast", Shards: 4, Pilot: true, Workers: "a:1,b:2"}, ""},
+	}
+	for _, c := range cases {
+		set := c.set
+		if set == nil {
+			set = map[string]bool{}
+		}
+		err := validateFlags(set, c.f)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected rejection: %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted, want error mentioning %q", c.name, c.want)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}

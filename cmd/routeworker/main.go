@@ -1,0 +1,70 @@
+// Command routeworker is the remote-dispatch worker process: it serves the
+// internal/wire worker protocol (POST /build executes one work unit, GET
+// /healthz answers liveness probes) for a coordinator's
+// dispatch.WorkerPool. Handler panics are contained per request (the
+// process never crashes on a poisoned work unit), and SIGTERM/SIGINT drain
+// gracefully: the listener closes immediately, in-flight builds run to
+// completion within the -drain budget, then the process exits 0 — so a
+// fleet rollover never turns into coordinator-visible failures beyond the
+// connection errors the pool is built to absorb.
+//
+// Usage:
+//
+//	routeworker -listen 127.0.0.1:9301
+//
+// The bound address is printed to stdout as "listening on <addr>" once the
+// listener is up (useful with -listen :0).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "host:port to serve the worker protocol on")
+	drain := flag.Duration("drain", time.Minute, "how long a shutdown signal waits for in-flight builds")
+	stall := flag.Duration("stall", 0, "artificial delay before executing each build (fault drills only)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "routeworker: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	srv, err := wire.NewWorkerServer(*listen, wire.ServerOptions{Stall: *stall})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "routeworker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	drained := make(chan error, 1)
+	go func() {
+		s := <-sig
+		fmt.Printf("routeworker: %v, draining (up to %v)\n", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		drained <- srv.Shutdown(ctx)
+	}()
+
+	if err := srv.Serve(); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "routeworker: %v\n", err)
+		os.Exit(1)
+	}
+	// Serve returned because Shutdown started; wait for the drain itself.
+	if err := <-drained; err != nil {
+		fmt.Fprintf(os.Stderr, "routeworker: drain: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/ctree"
+	"repro/internal/dispatch"
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -79,6 +80,21 @@ type scalePoint struct {
 	Provenance *obs.Provenance `json:"provenance"`
 	// Phases is the point's per-phase time attribution (-trace only).
 	Phases *obs.Summary `json:"phases,omitempty"`
+	// Dispatch surfaces the build's fault-handling counters (retries,
+	// hedges, contained panics, remote fallbacks, workers lost); omitted
+	// when the build dispatched undisturbed.
+	Dispatch *dispatchPoint `json:"dispatch,omitempty"`
+}
+
+// dispatchPoint is a scalePoint's view of dispatch.Report: what fault
+// tolerance cost the measured build.
+type dispatchPoint struct {
+	Retries         int `json:"retries,omitempty"`
+	Hedges          int `json:"hedges,omitempty"`
+	PanicsRecovered int `json:"panics_recovered,omitempty"`
+	FaultsInjected  int `json:"faults_injected,omitempty"`
+	RemoteFallbacks int `json:"remote_fallbacks,omitempty"`
+	WorkersLost     int `json:"workers_lost,omitempty"`
 }
 
 // scaleInstance is one (instance, placement label) pair of the scale series.
@@ -87,7 +103,19 @@ type scaleInstance struct {
 	dist string
 }
 
-func runScale(out io.Writer, sizes string, dist string, pairers string, seed int64, suite bool, shards, groups int, pilot bool, tracePath string, timeout time.Duration) {
+func runScale(out io.Writer, sizes string, dist string, pairers string, seed int64, suite bool, shards, groups int, pilot bool, workers string, tracePath string, timeout time.Duration) {
+	// -workers ships shard and pilot builds to routeworkers; a fleet that
+	// cannot take a task degrades to in-process execution, which the
+	// series' dispatch fields record.
+	var dopt dispatch.Options
+	if workers != "" {
+		pool, err := dispatch.NewWorkerPool(strings.Split(workers, ","), dispatch.PoolOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		defer pool.Close()
+		dopt.Remote = pool
+	}
 	var insts []scaleInstance
 	if suite {
 		// The longitudinal series: every LargeSuite circuit, uniform and
@@ -162,7 +190,7 @@ func runScale(out io.Writer, sizes string, dist string, pairers string, seed int
 			opt.Ctx = ctx
 		}
 		start := time.Now()
-		res, err := shard.Build(in, opt)
+		res, err := shard.BuildDispatch(in, opt, dopt)
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				fatal(fmt.Errorf("scale: n=%d pairer=%s shards=%d build cancelled after %s (-timeout)", len(in.Sinks), pm, opt.Shards, timeout))
@@ -190,6 +218,13 @@ func runScale(out io.Writer, sizes string, dist string, pairers string, seed int
 				_, pt.SeamSkewPs = eval.SeamSkew(rep, in, res.Parts)
 			}
 			pt.PilotSinks, pt.PilotScans = res.PilotSinks, res.PilotStats.PairScans
+		}
+		if d := res.Dispatch; d.Retries+d.Hedges+d.PanicsRecovered+d.FaultsInjected+d.RemoteFallbacks+d.WorkersLost > 0 {
+			pt.Dispatch = &dispatchPoint{
+				Retries: d.Retries, Hedges: d.Hedges,
+				PanicsRecovered: d.PanicsRecovered, FaultsInjected: d.FaultsInjected,
+				RemoteFallbacks: d.RemoteFallbacks, WorkersLost: d.WorkersLost,
+			}
 		}
 		series = append(series, pt)
 		fmt.Fprintf(os.Stderr, "scale: n=%d dist=%s pairer=%s shards=%d groups=%d pilot=%v %.2fs wire=%.0f scans=%d rebuilds=%d/%d/%d/%d seam=%.3f pilot_sinks=%d\n",
@@ -241,6 +276,7 @@ func main() {
 		shards     = flag.Int("shards", 0, "scale mode: spatial shards routed concurrently and stitched (0 = off)")
 		groups     = flag.Int("groups", 0, "scale mode: also route an intermingled k-group AST-DME variant of every instance, reporting group/seam skew (0 = off)")
 		pilot      = flag.Bool("pilot", false, "scale mode: run the grouped variant with the pilot offset pass (requires -groups and -shards)")
+		workers    = flag.String("workers", "", "scale mode: comma-separated routeworker addresses (host:port) to ship shard and pilot builds to (requires -shards)")
 		outPath    = flag.String("out", "", "scale mode: write the JSON series to this file instead of stdout, e.g. -out BENCH_scale.json for a CI perf artifact")
 		tracePath  = flag.String("trace", "", "scale mode: write a JSON phase trace of every measured point to this file (also embeds per-point phase summaries in the series)")
 		timeout    = flag.Duration("timeout", 0, "scale mode: abort any single measured build after this long, e.g. 2m (0 = unbounded)")
@@ -277,8 +313,16 @@ func main() {
 		if set["timeout"] && *timeout <= 0 {
 			fatal(fmt.Errorf("-timeout must be positive (got %v); drop it to run unbounded", *timeout))
 		}
+		if set["workers"] {
+			if *workers == "" {
+				fatal(fmt.Errorf("-workers needs at least one host:port address"))
+			}
+			if *shards == 0 {
+				fatal(fmt.Errorf("-workers ships shard builds to routeworkers and requires -shards ≥ 1"))
+			}
+		}
 	} else {
-		for _, f := range []string{"sizes", "dist", "pairer", "seed", "suite", "out", "groups", "pilot", "trace", "timeout"} {
+		for _, f := range []string{"sizes", "dist", "pairer", "seed", "suite", "out", "groups", "pilot", "workers", "trace", "timeout"} {
 			if set[f] {
 				fatal(fmt.Errorf("-%s applies to -mode scale only (current mode %q)", f, *mode))
 			}
@@ -309,7 +353,7 @@ func main() {
 	defer stopProf()
 
 	if *mode == "scale" {
-		runScale(out, *sizes, *dist, *pairer, *seed, *suite, *shards, *groups, *pilot, *tracePath, *timeout)
+		runScale(out, *sizes, *dist, *pairer, *seed, *suite, *shards, *groups, *pilot, *workers, *tracePath, *timeout)
 		return
 	}
 

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunScaleSurfacesRemoteFallbacks pins satellite coverage for the
+// dispatch fields of the scale series: a sweep pointed at an unreachable
+// worker fleet must still complete (graceful in-process degradation) and
+// its JSON points must say so via dispatch.remote_fallbacks.
+func TestRunScaleSurfacesRemoteFallbacks(t *testing.T) {
+	var buf bytes.Buffer
+	// Port 1 refuses connections; every shard task degrades in-process.
+	runScale(&buf, "300", "uniform", "grid", 1, false, 2, 0, false, "127.0.0.1:1", "", 0)
+	var series []scalePoint
+	if err := json.Unmarshal(buf.Bytes(), &series); err != nil {
+		t.Fatalf("series is not JSON: %v\n%s", err, buf.String())
+	}
+	if len(series) == 0 {
+		t.Fatal("empty series")
+	}
+	for _, pt := range series {
+		if pt.Dispatch == nil {
+			t.Fatalf("point n=%d has no dispatch block despite a dead fleet", pt.Sinks)
+		}
+		if pt.Dispatch.RemoteFallbacks == 0 {
+			t.Errorf("point n=%d: remote_fallbacks = 0, want > 0", pt.Sinks)
+		}
+		if pt.Wirelength <= 0 {
+			t.Errorf("point n=%d: implausible wirelength %v", pt.Sinks, pt.Wirelength)
+		}
+	}
+}
+
+// TestRunScaleLocalHasNoDispatchBlock pins the omitempty contract: an
+// undisturbed local sweep carries no dispatch noise in its points.
+func TestRunScaleLocalHasNoDispatchBlock(t *testing.T) {
+	var buf bytes.Buffer
+	runScale(&buf, "300", "uniform", "grid", 1, false, 2, 0, false, "", "", 0)
+	var series []scalePoint
+	if err := json.Unmarshal(buf.Bytes(), &series); err != nil {
+		t.Fatalf("series is not JSON: %v", err)
+	}
+	for _, pt := range series {
+		if pt.Dispatch != nil {
+			t.Errorf("point n=%d carries a dispatch block on a clean local run: %+v", pt.Sinks, pt.Dispatch)
+		}
+	}
+}

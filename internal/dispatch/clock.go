@@ -1,0 +1,179 @@
+package dispatch
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the coordinator's time source — backoff sleeps, hedge
+// deadlines, duration measurement, and the worker pool's health cadence all
+// go through it — so the retry/hedge unit tests run on a FakeClock instead
+// of real sleeps. The zero Options use the wall clock; production code never
+// constructs anything else.
+type Clock interface {
+	Now() time.Time
+	// NewTimer returns a timer that fires once after d. Its Stop/Reset
+	// follow time.Timer semantics: Stop reports whether the timer was still
+	// pending (callers drain C after a false return before reusing it), and
+	// Reset re-arms a stopped-and-drained timer.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the subset of time.Timer the coordinator uses.
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+	Reset(d time.Duration) bool
+}
+
+// wallClock is the real time source.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                { return time.Now() }
+func (wallClock) NewTimer(d time.Duration) Timer { return wallTimer{time.NewTimer(d)} }
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) C() <-chan time.Time        { return w.t.C }
+func (w wallTimer) Stop() bool                 { return w.t.Stop() }
+func (w wallTimer) Reset(d time.Duration) bool { return w.t.Reset(d) }
+
+// FakeClock is a manually driven Clock for tests. Time only moves through
+// Advance, or — with AutoAdvance — jumps straight to each new timer's
+// deadline the moment it is armed, so code whose only waits are timer
+// sleeps runs "as fast as time can pass" with zero real sleeping and no
+// flakiness. Safe for concurrent use (the coordinator arms timers from
+// several goroutines).
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+	auto   bool
+}
+
+// NewFakeClock returns a fake clock at an arbitrary fixed epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// SetAutoAdvance toggles auto-advance: when on, arming a timer immediately
+// advances the clock to its deadline and fires it.
+func (c *FakeClock) SetAutoAdvance(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.auto = on
+}
+
+// Now returns the fake current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// NewTimer arms a fake timer firing at Now()+d.
+func (c *FakeClock) NewTimer(d time.Duration) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{clk: c, c: make(chan time.Time, 1)}
+	c.timers = append(c.timers, t)
+	c.armLocked(t, d)
+	return t
+}
+
+// Advance moves the clock forward by d, firing due timers in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	target := c.now.Add(d)
+	for {
+		t := c.earliestLocked(target)
+		if t == nil {
+			break
+		}
+		c.now = t.deadline
+		c.fireLocked(t)
+	}
+	c.now = target
+}
+
+// Pending reports how many timers are armed and not yet fired.
+func (c *FakeClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.timers {
+		if t.active {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *FakeClock) earliestLocked(upTo time.Time) *fakeTimer {
+	var best *fakeTimer
+	for _, t := range c.timers {
+		if !t.active || t.deadline.After(upTo) {
+			continue
+		}
+		if best == nil || t.deadline.Before(best.deadline) {
+			best = t
+		}
+	}
+	return best
+}
+
+func (c *FakeClock) armLocked(t *fakeTimer, d time.Duration) {
+	t.active = true
+	t.deadline = c.now.Add(d)
+	if c.auto {
+		if t.deadline.After(c.now) {
+			c.now = t.deadline
+		}
+		// Fire every timer the jump made due, earliest first, so relative
+		// ordering between concurrent sleeps stays sensible.
+		for {
+			due := c.earliestLocked(c.now)
+			if due == nil {
+				break
+			}
+			c.fireLocked(due)
+		}
+	}
+}
+
+func (c *FakeClock) fireLocked(t *fakeTimer) {
+	t.active = false
+	select {
+	case t.c <- t.deadline:
+	default:
+	}
+}
+
+// fakeTimer mirrors time.Timer semantics on the fake clock: the channel is
+// buffered, Stop reports whether the timer was still pending, and a fired
+// value stays in the channel until drained.
+type fakeTimer struct {
+	clk      *FakeClock
+	c        chan time.Time
+	deadline time.Time
+	active   bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.c }
+
+func (t *fakeTimer) Stop() bool {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	was := t.active
+	t.active = false
+	return was
+}
+
+func (t *fakeTimer) Reset(d time.Duration) bool {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	was := t.active
+	t.clk.armLocked(t, d)
+	return was
+}

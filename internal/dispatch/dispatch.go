@@ -1,9 +1,11 @@
 // Package dispatch executes the sharded pipeline's sub-builds as retryable
 // tasks behind a Runner interface — the fault-tolerance layer between
-// shard.Build and the engines that execute its work. The in-process runner
-// (a closure over core.BuildSubtree) is the only transport today; the net
-// transport of the distributed dispatcher slots behind the same interface
-// later without the coordinator changing.
+// shard.Build and the engines that execute its work. Two transports
+// implement it: the in-process runner (a closure over core.BuildSubtree)
+// and the RemoteRunner, which ships work units to a WorkerPool of HTTP
+// routeworker processes and degrades gracefully back to the in-process
+// runner when the fleet cannot take a task (see remote.go). The coordinator
+// is transport-agnostic.
 //
 // The coordinator owns four failure disciplines, all leaning on the
 // determinism contract (a sub-build is a pure function of its inputs, so any
@@ -205,6 +207,16 @@ type Options struct {
 	// event spans (retry/hedge/panic, with task coordinates as attributes).
 	// Only the coordinator goroutine touches it.
 	Trace *obs.Trace
+	// Clock overrides the coordinator's time source (backoff sleeps, hedge
+	// deadlines, duration measurement). Nil uses the wall clock; tests use
+	// a FakeClock so retry/hedge suites run without real sleeps.
+	Clock Clock
+	// Remote, when non-nil, is the HTTP worker pool dispatch-aware
+	// pipelines route their executions through: shard.BuildDispatch wraps
+	// its phase runners in pool.Runner(...) when the field is set. Run
+	// itself never reads it — the coordinator stays transport-agnostic and
+	// sees a RemoteRunner as just another Runner.
+	Remote *WorkerPool
 }
 
 // Report counts what fault handling cost during a Run. The same counts are
@@ -216,6 +228,12 @@ type Report struct {
 	Hedges          int
 	PanicsRecovered int
 	FaultsInjected  int
+	// RemoteFallbacks counts executions that degraded to the in-process
+	// runner because no healthy remote worker could take them; WorkersLost
+	// counts workers blacklisted after consecutive failures during the run.
+	// Both zero on all-local dispatches.
+	RemoteFallbacks int
+	WorkersLost     int
 }
 
 // Add accumulates another dispatch's report (shard.Build sums its pilot and
@@ -227,15 +245,25 @@ func (r *Report) Add(o Report) {
 	r.Hedges += o.Hedges
 	r.PanicsRecovered += o.PanicsRecovered
 	r.FaultsInjected += o.FaultsInjected
+	r.RemoteFallbacks += o.RemoteFallbacks
+	r.WorkersLost += o.WorkersLost
 }
 
 // Fault is one injected failure: an optional straggler delay, then either a
-// panic or an error. Delay composes with Panic/Err (a straggler that then
-// crashes); all three zero is a no-op.
+// panic or an error — or, for remote transports, a network fault. Delay
+// composes with Panic/Err (a straggler that then crashes); all fields zero
+// is a no-op. The coordinator injects Panic/Err/Delay itself; Drop and
+// Corrupt are transport coordinates a RemoteRunner applies (a dropped
+// connection before the request, or response bytes corrupted in transit so
+// decoding fails) — both surface as Transient errors, so the retry
+// machinery drives re-dispatch. On an all-local dispatch net faults are
+// inert.
 type Fault struct {
-	Panic bool
-	Err   error
-	Delay time.Duration
+	Panic   bool
+	Err     error
+	Delay   time.Duration
+	Drop    bool
+	Corrupt bool
 }
 
 // faultKey pins a fault to (phase, task, attempt) coordinates.
@@ -270,6 +298,48 @@ func (p *FaultPlan) DelayAt(phase string, task, attempt int, d time.Duration) *F
 	f := p.faults[faultKey{phase, task, attempt}]
 	f.Delay = d
 	return p.add(phase, task, attempt, f)
+}
+
+// DropAt makes a remote transport drop the connection for the given
+// execution (a Transient error before any request is sent).
+func (p *FaultPlan) DropAt(phase string, task, attempt int) *FaultPlan {
+	f := p.faults[faultKey{phase, task, attempt}]
+	f.Drop = true
+	return p.add(phase, task, attempt, f)
+}
+
+// CorruptAt makes a remote transport corrupt the response bytes of the
+// given execution before decoding (a decode failure classified Transient).
+func (p *FaultPlan) CorruptAt(phase string, task, attempt int) *FaultPlan {
+	f := p.faults[faultKey{phase, task, attempt}]
+	f.Corrupt = true
+	return p.add(phase, task, attempt, f)
+}
+
+// Merge folds every fault of o into p (union per coordinate: flags OR, the
+// longer delay wins, p's error wins when both plans set one). It lets the
+// chaos harness layer a seeded net-fault plan over a seeded local plan.
+func (p *FaultPlan) Merge(o *FaultPlan) *FaultPlan {
+	if o == nil {
+		return p
+	}
+	if p.faults == nil {
+		p.faults = map[faultKey]Fault{}
+	}
+	for k, f := range o.faults {
+		prev := p.faults[k]
+		prev.Panic = prev.Panic || f.Panic
+		if prev.Err == nil {
+			prev.Err = f.Err
+		}
+		if f.Delay > prev.Delay {
+			prev.Delay = f.Delay
+		}
+		prev.Drop = prev.Drop || f.Drop
+		prev.Corrupt = prev.Corrupt || f.Corrupt
+		p.faults[k] = prev
+	}
+	return p
 }
 
 func (p *FaultPlan) add(phase string, task, attempt int, f Fault) *FaultPlan {
@@ -333,6 +403,33 @@ func SeededPlan(seed int64, n int, delay time.Duration, phases ...string) *Fault
 	return p
 }
 
+// SeededNetPlan generates a survivable random plan of network faults over n
+// tasks per phase: dropped connections and corrupted responses at attempts
+// 0 and 1 only, so even layered over a SeededPlan (whose faults also stop
+// at attempt 1) the third attempt of every task is clean and a
+// default-policy dispatch always completes. Applied by remote transports
+// only; merge it into a local plan with Merge for chaos runs that exercise
+// both fault families at once.
+func SeededNetPlan(seed int64, n int, phases ...string) *FaultPlan {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewFaultPlan()
+	for _, phase := range phases {
+		for i := 0; i < n; i++ {
+			switch r := rng.Float64(); {
+			case r < 0.25:
+				p.DropAt(phase, i, 0)
+			case r < 0.40:
+				p.CorruptAt(phase, i, 0)
+			case r < 0.50:
+				// Two consecutive net faults: the second retry must land.
+				p.DropAt(phase, i, 0)
+				p.CorruptAt(phase, i, 1)
+			}
+		}
+	}
+	return p
+}
+
 // launch is one scheduled execution: the task coordinates plus the backoff
 // the worker sleeps before running.
 type launch struct {
@@ -359,9 +456,19 @@ type taskState struct {
 	lastErr  error
 }
 
+// runObserver lets a dispatch-package runner report run-scoped state (the
+// RemoteRunner's fallback and worker-loss journals) into the Report and the
+// trace after the drain, on the coordinator goroutine — the only place the
+// single-goroutine trace contract allows. Unexported on purpose: outside
+// runners cannot inject into the report.
+type runObserver interface {
+	observeRun(rep *Report, tr *obs.Trace)
+}
+
 // coord is the single-goroutine coordinator state of one Run.
 type coord struct {
 	o       Options
+	clock   Clock
 	runner  Runner
 	runCtx  context.Context
 	events  chan event
@@ -410,6 +517,9 @@ func Run(ctx context.Context, n int, r Runner, o Options) ([]any, Report, error)
 	if o.HedgeSlack <= 0 {
 		o.HedgeSlack = DefaultHedgeSlack
 	}
+	if o.Clock == nil {
+		o.Clock = wallClock{}
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -422,6 +532,7 @@ func Run(ctx context.Context, n int, r Runner, o Options) ([]any, Report, error)
 
 	c := &coord{
 		o:       o,
+		clock:   o.Clock,
 		runner:  r,
 		runCtx:  runCtx,
 		events:  make(chan event),
@@ -438,15 +549,15 @@ func Run(ctx context.Context, n int, r Runner, o Options) ([]any, Report, error)
 	// The event loop: receive completions, and — when a hedge deadline is
 	// computable — race them against a timer armed for the earliest
 	// straggler. Spurious timer fires are harmless (due-ness re-validates).
-	timer := time.NewTimer(time.Hour)
+	timer := c.clock.NewTimer(time.Hour)
 	if !timer.Stop() {
-		<-timer.C
+		<-timer.C()
 	}
 	for c.done < n && c.failErr == nil {
 		var timerC <-chan time.Time
 		if wait, ok := c.nextHedgeWait(); ok {
 			timer.Reset(wait)
-			timerC = timer.C
+			timerC = timer.C()
 		}
 		select {
 		case ev := <-c.events:
@@ -456,7 +567,7 @@ func Run(ctx context.Context, n int, r Runner, o Options) ([]any, Report, error)
 			c.launchDueHedges()
 		}
 		if timerC != nil && !timer.Stop() {
-			<-timer.C
+			<-timer.C()
 		}
 	}
 
@@ -469,6 +580,12 @@ func Run(ctx context.Context, n int, r Runner, o Options) ([]any, Report, error)
 		ev := <-c.events
 		c.inflight--
 		c.tasks[ev.t.Index].running--
+	}
+	// After the drain no execution can journal further; fold run-scoped
+	// runner state (remote fallbacks, lost workers) into the report and
+	// trace on this, the coordinator goroutine.
+	if ob, ok := r.(runObserver); ok {
+		ob.observeRun(&c.rep, o.Trace)
 	}
 	if c.failErr != nil {
 		return nil, c.rep, c.failErr
@@ -491,7 +608,7 @@ func (c *coord) launch(l launch) {
 	ts.attempts++
 	ts.running++
 	if ts.running == 1 {
-		ts.started = time.Now()
+		ts.started = c.clock.Now()
 	}
 	if _, ok := c.o.Faults.at(c.o.Phase, l.t.Index, l.t.Attempt); ok {
 		c.rep.FaultsInjected++
@@ -508,7 +625,7 @@ func (c *coord) launch(l launch) {
 // injection, the runner itself — all under panic containment — then reports
 // the outcome. It always sends exactly one event.
 func (c *coord) exec(ctx context.Context, l launch) {
-	start := time.Now()
+	start := c.clock.Now()
 	var val any
 	var err error
 	func() {
@@ -523,11 +640,11 @@ func (c *coord) exec(ctx context.Context, l launch) {
 				}
 			}
 		}()
-		if err = sleepCtx(ctx, l.backoff); err != nil {
+		if err = sleepCtx(ctx, l.backoff, c.clock); err != nil {
 			return
 		}
 		if f, ok := c.o.Faults.at(c.o.Phase, l.t.Index, l.t.Attempt); ok {
-			if err = sleepCtx(ctx, f.Delay); err != nil {
+			if err = sleepCtx(ctx, f.Delay, c.clock); err != nil {
 				return
 			}
 			if f.Panic {
@@ -540,7 +657,7 @@ func (c *coord) exec(ctx context.Context, l launch) {
 		}
 		val, err = c.runner.Run(ctx, l.t)
 	}()
-	c.events <- event{t: l.t, val: val, err: err, dur: time.Since(start)}
+	c.events <- event{t: l.t, val: val, err: err, dur: c.clock.Now().Sub(start)}
 }
 
 // handle processes one completion on the coordinator goroutine.
@@ -639,7 +756,7 @@ func (c *coord) nextHedgeWait() (time.Duration, bool) {
 	if !ok {
 		return 0, false
 	}
-	now := time.Now()
+	now := c.clock.Now()
 	found := false
 	var min time.Duration
 	for i := range c.tasks {
@@ -665,7 +782,7 @@ func (c *coord) launchDueHedges() {
 	if !ok {
 		return
 	}
-	now := time.Now()
+	now := c.clock.Now()
 	for i := range c.tasks {
 		ts := &c.tasks[i]
 		if ts.done || ts.hedged || ts.running == 0 {
@@ -700,16 +817,16 @@ func quantileDur(durs []time.Duration, q float64) time.Duration {
 	return s[idx]
 }
 
-// sleepCtx sleeps d, waking early (with the context's error) on
-// cancellation. d ≤ 0 only polls the context.
-func sleepCtx(ctx context.Context, d time.Duration) error {
+// sleepCtx sleeps d on the given clock, waking early (with the context's
+// error) on cancellation. d ≤ 0 only polls the context.
+func sleepCtx(ctx context.Context, d time.Duration, clk Clock) error {
 	if d <= 0 {
 		return ctx.Err()
 	}
-	t := time.NewTimer(d)
+	t := clk.NewTimer(d)
 	defer t.Stop()
 	select {
-	case <-t.C:
+	case <-t.C():
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

@@ -82,6 +82,12 @@ const (
 	MetricDispatchHedges  = "dispatch_hedges"
 	MetricDispatchPanics  = "dispatch_panics_recovered"
 	MetricDispatchFaults  = "dispatch_faults_injected"
+	// Remote-dispatch degradation counters: executions that fell back to
+	// the in-process runner because no healthy worker could take them, and
+	// workers blacklisted after consecutive failures. Zero on all-local
+	// runs and on remote runs where the fleet stayed healthy.
+	MetricDispatchRemoteFallbacks = "dispatch_remote_fallbacks"
+	MetricDispatchWorkersLost     = "dispatch_workers_lost"
 )
 
 // span is one recorded region. Fixed-size (inline attrs) so the arena is a

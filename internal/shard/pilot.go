@@ -205,7 +205,7 @@ func runPilot(in *ctree.Instance, opt core.Options, dopt dispatch.Options) (offs
 				patchTraces[pi] = opt.Trace.Child("patch" + strconv.Itoa(pi))
 			}
 		}
-		runner := dispatch.RunnerFunc(func(ctx context.Context, t dispatch.Task) (any, error) {
+		local := dispatch.RunnerFunc(func(ctx context.Context, t dispatch.Task) (any, error) {
 			po := opt
 			po.Ctx = ctx
 			po.Trace = nil
@@ -233,6 +233,17 @@ func runPilot(in *ctree.Instance, opt core.Options, dopt dispatch.Options) (offs
 			out.est, out.offsErr = reg.Offsets()
 			return out, nil
 		})
+		// With a worker pool attached, patch routes ship to routeworkers
+		// (KindPatch work units over a fresh-registry snapshot) and degrade
+		// back to the local runner when the fleet cannot take them.
+		var runner dispatch.Runner = local
+		if dopt.Remote != nil {
+			rr, rerr := newRemotePilotRunner(dopt.Remote, in, opt, samples, local, dopt.Faults)
+			if rerr != nil {
+				return nil, stats, sinks, rep, rerr
+			}
+			runner = rr
+		}
 		outs, prep, err := dispatch.Run(opt.Ctx, len(samples), runner, dopt)
 		rep.Add(prep)
 		for _, pt := range patchTraces {

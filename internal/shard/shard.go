@@ -70,10 +70,21 @@ type Result struct {
 	Trace *obs.Trace
 	// Dispatch sums what fault handling cost across the run's dispatched
 	// phases (pilot patches + shard builds): attempts, retries, hedged
-	// straggler duplicates, contained panics, injected faults. All zero on
+	// straggler duplicates, contained panics, injected faults, and — under
+	// remote dispatch (dispatch.Options.Remote) — tasks that degraded to
+	// the in-process fallback and workers lost to blacklisting. All zero on
 	// a fault-free run with no stragglers. The same counters are exported
 	// as dispatch_* metrics on Trace.
 	Dispatch dispatch.Report
+}
+
+// shardOut is one shard execution's product: the built subtree and the
+// private registry whose offsets it committed. Both the local runner and
+// the remote transport's decoder (remote.go) produce it, so the stitch
+// never knows where a shard was routed.
+type shardOut struct {
+	sub *core.Subtree
+	reg *core.Registry
 }
 
 // Build routes the instance according to opt.Shards: 0 delegates to the
@@ -226,11 +237,7 @@ func BuildDispatch(in *ctree.Instance, opt core.Options, dopt dispatch.Options) 
 			shardTraces[i] = tr.Child("shard" + strconv.Itoa(i))
 		}
 	}
-	type shardOut struct {
-		sub *core.Subtree
-		reg *core.Registry
-	}
-	runner := dispatch.RunnerFunc(func(ctx context.Context, t dispatch.Task) (any, error) {
+	local := dispatch.RunnerFunc(func(ctx context.Context, t dispatch.Task) (any, error) {
 		so := shardOpt
 		so.Ctx = ctx
 		if t.Attempt == 0 {
@@ -248,6 +255,18 @@ func BuildDispatch(in *ctree.Instance, opt core.Options, dopt dispatch.Options) 
 		}
 		return shardOut{sub: sub, reg: reg}, nil
 	})
+	// With a worker pool attached, shard builds ship to routeworkers and
+	// degrade back to the local runner when the fleet cannot take them (see
+	// remote.go); the dispatch report picks up the degradation counters
+	// after the run drains.
+	var runner dispatch.Runner = local
+	if dopt.Remote != nil {
+		rr, err := newRemoteShardRunner(dopt.Remote, in, shardOpt, base, parts, local, dopt.Faults)
+		if err != nil {
+			return nil, err
+		}
+		runner = rr
+	}
 	shardDopt := dopt
 	shardDopt.Phase = "shard"
 	shardDopt.Trace = tr

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ctree"
+)
+
+// Execute runs a decoded work unit exactly the way the in-process pipeline
+// would: a private registry reconstructed from the shipped snapshot, then
+// the same core entry points over the same inputs. Determinism makes this
+// location-transparent — the result is bitwise what the coordinator's own
+// runner would have produced.
+func Execute(u *WorkUnit) (*BuildResult, error) {
+	reg, err := core.NewRegistryFromSnapshot(u.Registry)
+	if err != nil {
+		return nil, err
+	}
+	switch u.Kind {
+	case KindBuild:
+		sub, err := core.BuildSubtree(u.Instance, u.SinkIDs, u.Opt, reg)
+		if err != nil {
+			return nil, err
+		}
+		return &BuildResult{
+			Root:       sub.Root,
+			Stats:      sub.Stats,
+			Wirelength: sub.Root.Wirelength(),
+			Registry:   reg.Snapshot(),
+		}, nil
+	case KindPatch:
+		// The pilot patch pair: sample build, then the single-root stitch
+		// that resolves a deferred root — mirroring shard's pilot runner.
+		sub, err := core.BuildSubtree(u.Instance, u.SinkIDs, u.Opt, reg)
+		if err != nil {
+			return nil, err
+		}
+		var st core.Stats
+		st.AddRun(sub.Stats)
+		top, err := core.MergeRoots(u.Instance, []*ctree.Node{sub.Root}, u.Opt, reg)
+		if err != nil {
+			return nil, err
+		}
+		st.AddRun(top.Stats)
+		return &BuildResult{
+			Root:       top.Root,
+			Stats:      st,
+			Wirelength: top.Root.Wirelength(),
+			Registry:   reg.Snapshot(),
+		}, nil
+	}
+	return nil, fmt.Errorf("wire: unknown work kind %d", u.Kind)
+}
