@@ -53,9 +53,11 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort the build after this long, e.g. 30s (ast/extbst/zst only; 0 = unbounded)")
 		chaosSeed  = flag.Int64("chaos", 0, "seeded fault injection into the shard dispatcher: panics, transient errors, stragglers (requires -shards; the routed tree stays bitwise identical)")
 		workers    = flag.String("workers", "", "comma-separated routeworker addresses (host:port) to ship shard and pilot builds to (requires -shards; degrades to in-process on fleet loss)")
+		cachePath  = flag.String("cache", "", "incremental-rebuild contract file: a sharded ast build writes it, -eco reads it and writes the chained contract back (requires -shards with -in, or -eco)")
+		ecoPath    = flag.String("eco", "", "edit-script JSON (instio edits): incrementally re-route the cached instance from -cache instead of building from -in")
 	)
 	flag.Parse()
-	if *inPath == "" {
+	if *inPath == "" && *ecoPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -70,6 +72,8 @@ func main() {
 		Timeout: *timeout,
 		Trace:   *tracePath,
 		Workers: *workers,
+		Cache:   *cachePath,
+		Eco:     *ecoPath,
 	}); err != nil {
 		fatal(err)
 	}
@@ -79,9 +83,22 @@ func main() {
 		fatal(err)
 	}
 	defer stopProf()
-	in, err := instio.LoadInstance(*inPath)
-	if err != nil {
-		fatal(err)
+	var in *ctree.Instance
+	var ecoCache *shard.EcoCache
+	if *ecoPath != "" {
+		// The instance comes out of the cached contract, not -in.
+		blob, err := os.ReadFile(*cachePath)
+		if err != nil {
+			fatal(err)
+		}
+		if ecoCache, err = shard.UnmarshalEcoCache(blob); err != nil {
+			fatal(err)
+		}
+		in = ecoCache.Instance
+	} else {
+		if in, err = instio.LoadInstance(*inPath); err != nil {
+			fatal(err)
+		}
 	}
 	if *pilot && in.NumGroups < 2 {
 		// shard.Build would skip the pass (nothing to prescribe); refuse the
@@ -134,27 +151,67 @@ func main() {
 	var root *ctree.Node
 	var wirelen float64
 	var sharded *shard.Result
-	switch *algo {
-	case "ast":
-		res, err := shard.BuildDispatch(in, core.Options{IntraSkewBound: *bound, Shards: *shards, Pilot: *pilot, Trace: tr, Ctx: ctx}, dopt)
+	switch {
+	case *ecoPath != "":
+		script, err := instio.LoadEdits(*ecoPath)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := ecoCache.RebuildDispatch(script, shard.RebuildOptions{Trace: tr, Ctx: ctx}, dopt)
+		if err != nil {
+			fatal(buildFailure(err, *timeout))
+		}
+		in = res.Instance // the edited instance; everything below reports against it
+		root, wirelen, sharded = res.Root, res.Wirelength, res
+		fmt.Printf("stats: %v\n", res.Stats)
+		fmt.Printf("eco:              %d edits, %d of %d shards rebuilt (%d reused)\n",
+			len(script.Edits), len(res.EcoRebuilt), len(res.Shards), res.EcoReused)
+		// Chain the contract: the next ECO rebuilds against the edited
+		// instance without ever paying a full build.
+		blob, err := res.Eco.Marshal()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*cachePath, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cache:            %s (chained, %d bytes)\n", *cachePath, len(blob))
+	case *algo == "ast":
+		opt := core.Options{IntraSkewBound: *bound, Shards: *shards, Pilot: *pilot, Trace: tr, Ctx: ctx}
+		var res *shard.Result
+		if *cachePath != "" {
+			res, err = shard.BuildEco(in, opt, dopt)
+		} else {
+			res, err = shard.BuildDispatch(in, opt, dopt)
+		}
 		if err != nil {
 			fatal(buildFailure(err, *timeout))
 		}
 		root, wirelen, sharded = res.Root, res.Wirelength, res
 		fmt.Printf("stats: %v\n", res.Stats)
-	case "extbst":
+		if *cachePath != "" {
+			blob, err := res.Eco.Marshal()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*cachePath, blob, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("cache:            %s (%d bytes)\n", *cachePath, len(blob))
+		}
+	case *algo == "extbst":
 		res, err := shard.BuildDispatch(in, core.Options{SingleGroup: true, GlobalBound: *bound, Shards: *shards, Trace: tr, Ctx: ctx}, dopt)
 		if err != nil {
 			fatal(buildFailure(err, *timeout))
 		}
 		root, wirelen, sharded = res.Root, res.Wirelength, res
-	case "zst":
+	case *algo == "zst":
 		res, err := shard.BuildDispatch(in, core.Options{SingleGroup: true, Shards: *shards, Trace: tr, Ctx: ctx}, dopt)
 		if err != nil {
 			fatal(buildFailure(err, *timeout))
 		}
 		root, wirelen, sharded = res.Root, res.Wirelength, res
-	case "stitch":
+	case *algo == "stitch":
 		res, err := stitch.Build(in, stitch.Options{IntraSkewBound: *bound})
 		if err != nil {
 			fatal(err)
@@ -243,12 +300,49 @@ type cliFlags struct {
 	Timeout time.Duration
 	Trace   string
 	Workers string
+	Cache   string
+	Eco     string
 }
 
 // validateFlags refuses contradictory flag combinations instead of silently
 // ignoring one of them. Extracted from main so the rejection matrix is unit
 // testable.
 func validateFlags(set map[string]bool, f cliFlags) error {
+	// The eco rules run first: with -eco, the cached contract owns the
+	// sharding configuration, so its rejections name the actual conflict
+	// rather than a generic sharding rule firing on a flag eco refuses
+	// anyway.
+	if set["eco"] {
+		if f.Eco == "" {
+			return fmt.Errorf("-eco needs an edit-script file")
+		}
+		if f.Cache == "" {
+			return fmt.Errorf("-eco rebuilds against a cached contract and requires -cache (write one with -algo ast -shards N -cache file)")
+		}
+		if set["in"] {
+			return fmt.Errorf("-eco routes the instance stored in the cached contract; drop -in")
+		}
+		if f.Algo != "ast" {
+			return fmt.Errorf("-eco rebuilds a cached ast routing and requires -algo ast")
+		}
+		if set["shards"] || set["pilot"] {
+			return fmt.Errorf("-shards and -pilot are fixed by the cached contract; drop them with -eco")
+		}
+		if set["chaos"] {
+			return fmt.Errorf("-chaos is not supported with -eco yet; inject faults through a from-scratch sharded build")
+		}
+	}
+	if set["cache"] && f.Eco == "" {
+		if f.Cache == "" {
+			return fmt.Errorf("-cache needs a file path")
+		}
+		if f.Algo != "ast" {
+			return fmt.Errorf("-cache retains an incremental-rebuild contract for ast routings; -algo %s cannot write one", f.Algo)
+		}
+		if f.Shards == 0 {
+			return fmt.Errorf("-cache retains per-shard subtrees and requires -shards ≥ 1")
+		}
+	}
 	if set["regions"] && !set["svg"] {
 		return fmt.Errorf("-regions draws into the SVG rendering and requires -svg")
 	}
@@ -284,7 +378,7 @@ func validateFlags(set map[string]bool, f cliFlags) error {
 		if f.Workers == "" {
 			return fmt.Errorf("-workers needs at least one host:port address")
 		}
-		if f.Shards == 0 {
+		if f.Shards == 0 && f.Eco == "" {
 			return fmt.Errorf("-workers ships shard builds to routeworkers and requires -shards ≥ 1")
 		}
 	}

@@ -28,6 +28,29 @@ func TestValidateFlags(t *testing.T) {
 		{"workers with shards", map[string]bool{"workers": true}, cliFlags{Algo: "ast", Shards: 2, Workers: "127.0.0.1:9"}, ""},
 		{"workers with chaos and pilot", map[string]bool{"workers": true, "chaos": true},
 			cliFlags{Algo: "ast", Shards: 4, Pilot: true, Workers: "a:1,b:2"}, ""},
+		{"eco empty value", map[string]bool{"eco": true}, cliFlags{Algo: "ast", Cache: "c.bin"}, "edit-script"},
+		{"eco without cache", map[string]bool{"eco": true}, cliFlags{Algo: "ast", Eco: "e.json"}, "-cache"},
+		{"eco with in", map[string]bool{"eco": true, "cache": true, "in": true},
+			cliFlags{Algo: "ast", Eco: "e.json", Cache: "c.bin"}, "-in"},
+		{"eco without ast", map[string]bool{"eco": true, "cache": true},
+			cliFlags{Algo: "zst", Eco: "e.json", Cache: "c.bin"}, "-algo ast"},
+		{"eco with shards", map[string]bool{"eco": true, "cache": true, "shards": true},
+			cliFlags{Algo: "ast", Eco: "e.json", Cache: "c.bin", Shards: 4}, "cached contract"},
+		{"eco with pilot", map[string]bool{"eco": true, "cache": true, "pilot": true},
+			cliFlags{Algo: "ast", Eco: "e.json", Cache: "c.bin", Pilot: true}, "cached contract"},
+		{"eco with chaos", map[string]bool{"eco": true, "cache": true, "chaos": true},
+			cliFlags{Algo: "ast", Eco: "e.json", Cache: "c.bin"}, "-chaos"},
+		{"eco with cache", map[string]bool{"eco": true, "cache": true},
+			cliFlags{Algo: "ast", Eco: "e.json", Cache: "c.bin"}, ""},
+		{"eco with workers", map[string]bool{"eco": true, "cache": true, "workers": true},
+			cliFlags{Algo: "ast", Eco: "e.json", Cache: "c.bin", Workers: "a:1"}, ""},
+		{"eco with timeout", map[string]bool{"eco": true, "cache": true, "timeout": true},
+			cliFlags{Algo: "ast", Eco: "e.json", Cache: "c.bin", Timeout: time.Second}, ""},
+		{"cache empty value", map[string]bool{"cache": true}, cliFlags{Algo: "ast", Shards: 2}, "file path"},
+		{"cache without shards", map[string]bool{"cache": true}, cliFlags{Algo: "ast", Cache: "c.bin"}, "-shards"},
+		{"cache without ast", map[string]bool{"cache": true}, cliFlags{Algo: "zst", Shards: 2, Cache: "c.bin"}, "ast"},
+		{"cache write mode", map[string]bool{"cache": true}, cliFlags{Algo: "ast", Shards: 2, Cache: "c.bin"}, ""},
+		{"cache write with pilot", map[string]bool{"cache": true}, cliFlags{Algo: "ast", Shards: 8, Pilot: true, Cache: "c.bin"}, ""},
 	}
 	for _, c := range cases {
 		set := c.set

@@ -34,8 +34,13 @@ func main() {
 		alpha    = flag.Float64("alpha", 1.5, "power-law exponent for -dist powerlaw cluster sizes")
 		seed     = flag.Int64("seed", 1, "random seed for custom instances and intermingled grouping")
 		out      = flag.String("o", "", "output file (default stdout)")
+		perturb  = flag.Float64("perturb", 0, "also emit a seeded ECO edit script touching this fraction of the generated sinks (requires -edits)")
+		edits    = flag.String("edits", "", "edit-script output file for -perturb")
 	)
 	flag.Parse()
+	if (*perturb != 0) != (*edits != "") {
+		fatal(fmt.Errorf("-perturb and -edits go together: the fraction sizes the script, the file receives it"))
+	}
 
 	n, sd := *sinks, *seed
 	var sp bench.Spec
@@ -88,6 +93,20 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s: %d sinks, %d groups\n", in.Name, len(in.Sinks), in.NumGroups)
+
+	if *perturb != 0 {
+		// A deterministic seeded edit script against the instance just
+		// written: ECO benchmarks replay the exact same edits run over run
+		// (the script is a pure function of instance, fraction and seed).
+		sc, err := instio.Perturb(in, *perturb, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := instio.SaveEdits(*edits, sc); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d edits (%s)\n", *edits, len(sc.Edits), sc.Name)
+	}
 }
 
 func fatal(err error) {

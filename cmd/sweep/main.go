@@ -6,6 +6,18 @@
 //	sweep -mode difficulty # AST-DME gain vs degree of intermingling (Blend)
 //	sweep -mode offsetfloat# wire/skew trade-off of the InterSkewBound knob
 //	sweep -mode scale      # sinks vs CPU seconds vs wirelength, JSON series
+//	sweep -mode eco        # incremental (ECO) rebuild vs from-scratch, JSON series
+//
+// The eco mode measures the incremental rerouting path longitudinally: for
+// every sink count (-sizes), placement (-dist), shard count (-shardcounts)
+// and edit fraction (-editfracs) it runs a retained piloted build, generates
+// the deterministic seeded edit script (instio.Perturb, the same script
+// instancegen -perturb would emit), rebuilds incrementally, then routes the
+// edited instance from scratch on the same configuration — emitting the
+// wall-clock speedup, dirty/reused shard counts and the eval-backed quality
+// deltas (wire ratio, seam skew) as a JSON series for BENCH_eco.json.
+// -groups k (default 4) shapes the instances; provenance and dispatch
+// blocks ride along exactly as in the scale mode.
 //
 // The table modes accept -circuit (r1..r5, default r1) and write CSV to
 // stdout. The scale mode routes zero-skew instances of increasing size
@@ -43,6 +55,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/instio"
 	"repro/internal/obs"
 	"repro/internal/profutil"
 	"repro/internal/shard"
@@ -95,6 +108,42 @@ type dispatchPoint struct {
 	FaultsInjected  int `json:"faults_injected,omitempty"`
 	RemoteFallbacks int `json:"remote_fallbacks,omitempty"`
 	WorkersLost     int `json:"workers_lost,omitempty"`
+}
+
+// ecoPoint is one measurement of the -mode eco series: a retained build, an
+// incremental rebuild of a seeded edit script, and the from-scratch build of
+// the same edited instance it competes against.
+type ecoPoint struct {
+	Sinks    int     `json:"sinks"`
+	Dist     string  `json:"dist"`
+	Shards   int     `json:"shards"`
+	Groups   int     `json:"groups"`
+	Pilot    bool    `json:"pilot"`
+	EditFrac float64 `json:"edit_frac"`
+	Edits    int     `json:"edits"`
+	// DirtyShards/ReusedShards pin how much of the cached contract the edit
+	// script invalidated; the speedup story stands on reuse.
+	DirtyShards  int `json:"dirty_shards"`
+	ReusedShards int `json:"reused_shards"`
+	// FullSeconds is the retained from-scratch build that produced the
+	// cache; EcoSeconds the incremental rebuild; ScratchSeconds the
+	// from-scratch sharded build of the edited instance — the run the
+	// rebuild replaces. Speedup = ScratchSeconds / EcoSeconds.
+	FullSeconds    float64 `json:"full_seconds"`
+	EcoSeconds     float64 `json:"eco_seconds"`
+	ScratchSeconds float64 `json:"scratch_seconds"`
+	Speedup        float64 `json:"speedup"`
+	// Quality of the incremental result against the from-scratch build of
+	// the same edited instance: total wire ratio (eco/scratch) and the
+	// grouped seam residuals of both.
+	Wirelength        float64         `json:"wirelength"`
+	WireRatio         float64         `json:"wire_ratio"`
+	SeamSkewPs        float64         `json:"seam_skew_ps"`
+	ScratchSeamSkewPs float64         `json:"scratch_seam_skew_ps"`
+	GroupSkewPs       float64         `json:"group_skew_ps"`
+	Provenance        *obs.Provenance `json:"provenance"`
+	// Dispatch covers the incremental rebuild's dispatched shard builds.
+	Dispatch *dispatchPoint `json:"dispatch,omitempty"`
 }
 
 // scaleInstance is one (instance, placement label) pair of the scale series.
@@ -264,9 +313,158 @@ func runScale(out io.Writer, sizes string, dist string, pairers string, seed int
 	}
 }
 
+// runEco measures the incremental rebuild path against from-scratch builds;
+// see the package comment. Each (size, dist, shards, frac) point runs three
+// routings: the retained build (cache producer), the incremental rebuild of
+// the seeded edit script, and the from-scratch sharded build of the edited
+// instance the rebuild is supposed to replace.
+func runEco(out io.Writer, sizes, dist, editfracs, shardcounts string, groups int, seed int64, timeout time.Duration) {
+	var dists []string
+	switch dist {
+	case "uniform", "powerlaw":
+		dists = []string{dist}
+	case "both":
+		dists = []string{"uniform", "powerlaw"}
+	default:
+		fatal(fmt.Errorf("bad -dist %q (want uniform | powerlaw | both)", dist))
+	}
+	var fracs []float64
+	for _, f := range strings.Split(editfracs, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 || v > 1 {
+			fatal(fmt.Errorf("bad -editfracs entry %q (want fractions in (0, 1])", f))
+		}
+		fracs = append(fracs, v)
+	}
+	var counts []int
+	for _, f := range strings.Split(shardcounts, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || k < 1 {
+			fatal(fmt.Errorf("bad -shardcounts entry %q", f))
+		}
+		counts = append(counts, k)
+	}
+	// -timeout budgets each routing independently, as in the scale mode.
+	budget := func(opt *core.Options) context.CancelFunc {
+		if timeout <= 0 {
+			return func() {}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		opt.Ctx = ctx
+		return cancel
+	}
+	prov := obs.CollectProvenance()
+	var series []ecoPoint
+	for _, d := range dists {
+		for _, f := range strings.Split(sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 2 {
+				fatal(fmt.Errorf("bad -sizes entry %q", f))
+			}
+			var in *ctree.Instance
+			if d == "uniform" {
+				in = bench.Small(n, seed)
+			} else {
+				in = bench.PowerLaw(n, bench.PowerLawClusters, bench.PowerLawAlpha, seed)
+			}
+			if groups > 1 {
+				in = bench.Intermingled(in, groups, seed*1000+int64(groups))
+			}
+			for _, k := range counts {
+				opt := core.Options{Shards: k}
+				if groups > 1 {
+					opt.Pilot = true // the cached-contract config the rebuild preserves
+				} else {
+					opt.SingleGroup = true
+				}
+				fullOpt := opt
+				cancel := budget(&fullOpt)
+				start := time.Now()
+				full, err := shard.BuildEco(in, fullOpt, dispatch.Options{})
+				cancel()
+				if err != nil {
+					fatal(ecoFailure("retained build", n, d, k, err, timeout))
+				}
+				tFull := time.Since(start).Seconds()
+				for _, frac := range fracs {
+					sc, err := instio.Perturb(in, frac, seed)
+					if err != nil {
+						fatal(err)
+					}
+					var ropt shard.RebuildOptions
+					rcancel := func() {}
+					if timeout > 0 {
+						var ctx context.Context
+						ctx, rcancel = context.WithTimeout(context.Background(), timeout)
+						ropt.Ctx = ctx
+					}
+					start = time.Now()
+					res, err := full.Eco.RebuildDispatch(sc, ropt, dispatch.Options{})
+					rcancel()
+					if err != nil {
+						fatal(ecoFailure(fmt.Sprintf("rebuild frac=%g", frac), n, d, k, err, timeout))
+					}
+					tEco := time.Since(start).Seconds()
+					edited := res.Instance
+					scratchOpt := opt
+					scancel := budget(&scratchOpt)
+					start = time.Now()
+					scratch, err := shard.BuildDispatch(edited, scratchOpt, dispatch.Options{})
+					scancel()
+					if err != nil {
+						fatal(ecoFailure(fmt.Sprintf("scratch frac=%g", frac), n, d, k, err, timeout))
+					}
+					tScratch := time.Since(start).Seconds()
+					rep := eval.Analyze(res.Root, edited, core.DefaultModel(), edited.Source)
+					pt := ecoPoint{
+						Sinks: n, Dist: d, Shards: k, Groups: in.NumGroups, Pilot: opt.Pilot,
+						EditFrac: frac, Edits: len(sc.Edits),
+						DirtyShards: len(res.EcoRebuilt), ReusedShards: res.EcoReused,
+						FullSeconds: tFull, EcoSeconds: tEco, ScratchSeconds: tScratch,
+						Speedup:    tScratch / tEco,
+						Wirelength: res.Wirelength,
+						WireRatio:  res.Wirelength / scratch.Wirelength,
+						Provenance: prov,
+					}
+					if groups > 1 && len(res.Parts) > 1 {
+						pt.GroupSkewPs = rep.MaxGroupSkew
+						_, pt.SeamSkewPs = eval.SeamSkew(rep, edited, res.Parts)
+						srep := eval.Analyze(scratch.Root, edited, core.DefaultModel(), edited.Source)
+						_, pt.ScratchSeamSkewPs = eval.SeamSkew(srep, edited, scratch.Parts)
+					}
+					if dr := res.Dispatch; dr.Retries+dr.Hedges+dr.PanicsRecovered+dr.FaultsInjected+dr.RemoteFallbacks+dr.WorkersLost > 0 {
+						pt.Dispatch = &dispatchPoint{
+							Retries: dr.Retries, Hedges: dr.Hedges,
+							PanicsRecovered: dr.PanicsRecovered, FaultsInjected: dr.FaultsInjected,
+							RemoteFallbacks: dr.RemoteFallbacks, WorkersLost: dr.WorkersLost,
+						}
+					}
+					series = append(series, pt)
+					fmt.Fprintf(os.Stderr, "eco: n=%d dist=%s shards=%d frac=%g edits=%d dirty=%d/%d full=%.2fs eco=%.3fs scratch=%.2fs speedup=%.1fx wire_ratio=%.4f seam=%.3g\n",
+						n, d, k, frac, pt.Edits, pt.DirtyShards, k, tFull, tEco, tScratch, pt.Speedup, pt.WireRatio, pt.SeamSkewPs)
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(series); err != nil {
+		fatal(err)
+	}
+}
+
+// ecoFailure labels a failed eco-mode routing with its configuration, and
+// maps deadline cancellations onto the flag that armed them.
+func ecoFailure(stage string, n int, dist string, shards int, err error, timeout time.Duration) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("eco: n=%d dist=%s shards=%d: %s cancelled after %s (-timeout)", n, dist, shards, stage, timeout)
+	}
+	return fmt.Errorf("eco: n=%d dist=%s shards=%d: %s: %w", n, dist, shards, stage, err)
+}
+
 func main() {
 	var (
-		mode       = flag.String("mode", "groups", "bound | groups | difficulty | offsetfloat | scale")
+		mode       = flag.String("mode", "groups", "bound | groups | difficulty | offsetfloat | scale | eco")
 		circuit    = flag.String("circuit", "r1", "table modes: suite circuit (r1..r5)")
 		sizes      = flag.String("sizes", "1000,2000,5000,10000", "scale mode: comma-separated sink counts")
 		dist       = flag.String("dist", "uniform", "scale mode: sink placement (uniform | powerlaw)")
@@ -280,6 +478,8 @@ func main() {
 		outPath    = flag.String("out", "", "scale mode: write the JSON series to this file instead of stdout, e.g. -out BENCH_scale.json for a CI perf artifact")
 		tracePath  = flag.String("trace", "", "scale mode: write a JSON phase trace of every measured point to this file (also embeds per-point phase summaries in the series)")
 		timeout    = flag.Duration("timeout", 0, "scale mode: abort any single measured build after this long, e.g. 2m (0 = unbounded)")
+		editfracs  = flag.String("editfracs", "0.001,0.01", "eco mode: comma-separated edit fractions, each sizing a seeded perturbation script")
+		shardcnts  = flag.String("shardcounts", "8", "eco mode: comma-separated shard counts for the cached contract")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -289,9 +489,15 @@ func main() {
 	// silently ignore, and contradictory scale configurations.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if *mode == "scale" {
+	switch *mode {
+	case "scale":
 		if set["circuit"] {
 			fatal(fmt.Errorf("-circuit selects a table-mode circuit; scale mode uses -sizes/-dist or -suite"))
+		}
+		for _, f := range []string{"editfracs", "shardcounts"} {
+			if set[f] {
+				fatal(fmt.Errorf("-%s applies to -mode eco only (current mode %q)", f, *mode))
+			}
 		}
 		if *suite && (set["sizes"] || set["dist"] || set["seed"]) {
 			fatal(fmt.Errorf("-suite runs the spec-pinned LargeSuite; it is mutually exclusive with -sizes/-dist/-seed"))
@@ -321,10 +527,39 @@ func main() {
 				fatal(fmt.Errorf("-workers ships shard builds to routeworkers and requires -shards ≥ 1"))
 			}
 		}
-	} else {
+	case "eco":
+		// The eco series fixes the routing configuration by the cached
+		// contract: grid pairing, pilot iff grouped, shard counts swept by
+		// -shardcounts. Flags that would contradict that are refused rather
+		// than silently ignored.
+		for _, f := range []string{"circuit", "suite", "pairer", "pilot", "workers", "trace"} {
+			if set[f] {
+				fatal(fmt.Errorf("-%s does not apply to -mode eco (the eco series fixes the routing configuration; see -editfracs/-shardcounts)", f))
+			}
+		}
+		if set["shards"] {
+			fatal(fmt.Errorf("-shards belongs to -mode scale; the eco series sweeps -shardcounts"))
+		}
+		if set["timeout"] && *timeout <= 0 {
+			fatal(fmt.Errorf("-timeout must be positive (got %v); drop it to run unbounded", *timeout))
+		}
+		if *groups == 1 || *groups < 0 {
+			fatal(fmt.Errorf("-groups %d: the grouped eco series needs ≥ 2 groups (0 = single-group)", *groups))
+		}
+		if !set["groups"] {
+			// Grouped + piloted is the contract the tentpole protects; make it
+			// the default shape and let -groups 0 opt into the single-group run.
+			*groups = 4
+		}
+	default:
 		for _, f := range []string{"sizes", "dist", "pairer", "seed", "suite", "out", "groups", "pilot", "workers", "trace", "timeout"} {
 			if set[f] {
 				fatal(fmt.Errorf("-%s applies to -mode scale only (current mode %q)", f, *mode))
+			}
+		}
+		for _, f := range []string{"editfracs", "shardcounts"} {
+			if set[f] {
+				fatal(fmt.Errorf("-%s applies to -mode eco only (current mode %q)", f, *mode))
 			}
 		}
 		if *shards > 0 { // an explicit -shards 0 is the documented "off" and harmless
@@ -354,6 +589,10 @@ func main() {
 
 	if *mode == "scale" {
 		runScale(out, *sizes, *dist, *pairer, *seed, *suite, *shards, *groups, *pilot, *workers, *tracePath, *timeout)
+		return
+	}
+	if *mode == "eco" {
+		runEco(out, *sizes, *dist, *editfracs, *shardcnts, *groups, *seed, *timeout)
 		return
 	}
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // ShardInfo describes one routed shard of a sharded run.
@@ -76,6 +77,19 @@ type Result struct {
 	// a fault-free run with no stragglers. The same counters are exported
 	// as dispatch_* metrics on Trace.
 	Dispatch dispatch.Report
+	// Eco is the retained incremental-rebuild contract: the partition, the
+	// frozen base registry, the pilot offset contract and every shard's
+	// pre-stitch subtree, from which EcoCache.Rebuild re-routes an edited
+	// instance by rebuilding only the dirty shards. Nil unless the build
+	// retained it (BuildEco) or the result itself came from a rebuild
+	// (Rebuild results always chain).
+	Eco *EcoCache
+	// EcoRebuilt lists the shard indices an incremental rebuild re-routed,
+	// ascending (nil on a from-scratch build); EcoReused counts the cached
+	// subtrees adopted unchanged. The differential tests pin "only dirty
+	// shards were rebuilt" on these.
+	EcoRebuilt []int
+	EcoReused  int
 }
 
 // shardOut is one shard execution's product: the built subtree and the
@@ -123,6 +137,24 @@ func Build(in *ctree.Instance, opt core.Options) (*Result, error) {
 // to every dispatched phase unchanged. The zero value is the default policy
 // Build uses.
 func BuildDispatch(in *ctree.Instance, opt core.Options, dopt dispatch.Options) (*Result, error) {
+	return buildDispatch(in, opt, dopt, false)
+}
+
+// BuildEco is BuildDispatch with contract retention: the result additionally
+// carries an EcoCache (partition, frozen base registry, pilot offsets,
+// per-shard pre-stitch subtree encodings) from which an edited instance can
+// be re-routed incrementally (EcoCache.Rebuild). Retention costs one
+// serialization pass over the shard subtrees, so it is opt-in rather than
+// the Build default. Requires opt.Shards ≥ 1 — the contract is the sharded
+// pipeline's, an unsharded build has no partition to reuse.
+func BuildEco(in *ctree.Instance, opt core.Options, dopt dispatch.Options) (*Result, error) {
+	if opt.Shards <= 0 {
+		return nil, fmt.Errorf("shard: eco retention requires Shards ≥ 1 (got %d)", opt.Shards)
+	}
+	return buildDispatch(in, opt, dopt, true)
+}
+
+func buildDispatch(in *ctree.Instance, opt core.Options, dopt dispatch.Options, retain bool) (*Result, error) {
 	k := opt.Shards
 	if k <= 0 {
 		res, err := core.Build(in, opt) // rejects a stray opt.Pilot itself
@@ -200,25 +232,7 @@ func BuildDispatch(in *ctree.Instance, opt core.Options, dopt dispatch.Options) 
 		return nil, err
 	}
 
-	// Per-shard builds see the grid-pairer threshold scaled by the shard
-	// count: PairerAuto's grid-vs-oracle decision is about total instance
-	// scale (a shard holds ~1/k of the instance), and comparing each
-	// shard's slice against the global constant silently dropped mid-size
-	// sharded runs back onto the O(n²) scan oracle inside every shard.
-	// k = 1 leaves the threshold untouched, preserving bitwise identity
-	// with the unsharded build.
-	shardOpt := subOpt
-	thr := shardOpt.PairerThreshold
-	if thr <= 0 {
-		thr = core.GridPairerThreshold
-	}
-	shardOpt.PairerThreshold = (thr + k - 1) / k
-	if k > 1 {
-		// A Probe is single-goroutine; concurrent shard builds would race
-		// on it. The serial components (pilot, stitch) still record; runs
-		// wanting complete sneak capture use Shards ≤ 1.
-		shardOpt.SneakProbe = nil
-	}
+	shardOpt := deriveShardOpt(subOpt, k)
 
 	// The shard builds go through the dispatch coordinator: each execution
 	// (first attempt, retry or hedge alike) clones the frozen base registry
@@ -290,6 +304,38 @@ func BuildDispatch(in *ctree.Instance, opt core.Options, dopt dispatch.Options) 
 	for i, s := range subs {
 		roots[i] = s.Root
 	}
+
+	// Contract retention snapshots every shard subtree BEFORE the stitch:
+	// MergeRoots adopts the roots and mutates them in place (deferred-root
+	// resolution, sneak elongation), so the reusable form only exists here.
+	// The blobs are the remote-dispatch result encoding — decoding one is
+	// bitwise the build that produced it, which is what lets a later rebuild
+	// adopt clean shards without re-routing them.
+	var ecoBlobs [][]byte
+	if retain {
+		retainRgn := tr.Begin("retain")
+		if err := dispatch.Protect("retain", func() error {
+			ecoBlobs = make([][]byte, k)
+			for i, s := range subs {
+				br := wire.BuildResult{
+					Root:       s.Root,
+					Stats:      s.Stats,
+					Wirelength: roots[i].Wirelength(),
+					Registry:   regs[i].Snapshot(),
+				}
+				b, err := br.Encode()
+				if err != nil {
+					return err
+				}
+				ecoBlobs[i] = b
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		retainRgn.End()
+	}
+
 	// The stitch routes against the frozen base: offsets committed inside a
 	// shard are already baked into its root's delay intervals, and the
 	// shards' private registries may disagree — the stitch windows are what
@@ -337,42 +383,88 @@ func BuildDispatch(in *ctree.Instance, opt core.Options, dopt dispatch.Options) 
 		Dispatch:     disp,
 	}
 	if err := dispatch.Protect("finalize", func() error {
-		var agg core.Stats
-		agg.AddRun(pilotStats) // zero when the pilot was off
-		var shardWire float64
-		for i, s := range subs {
-			w := roots[i].Wirelength()
-			res.Shards[i] = ShardInfo{Sinks: len(parts[i]), Wirelength: w, Stats: s.Stats}
-			shardWire += w
-			agg.AddRun(s.Stats)
-		}
-		agg.AddRun(top.Stats)
-		agg.GroupUnions += base.PreUnions()
-		res.Stats = agg
-
-		if k > 1 {
-			// Internal node IDs were assigned per shard (and restart in the
-			// stitch); renumber them densely above the sink IDs so IDs are
-			// unique within the run, as core.Build guarantees. Shards = 1 takes
-			// the unsharded numbering as-is, preserving bitwise identity.
-			next := len(in.Sinks)
-			top.Root.Visit(func(n *ctree.Node) {
-				if !n.IsLeaf() {
-					n.ID = next
-					next++
-				}
-			})
-		}
-
-		treeWire := top.Root.Wirelength()
-		res.SourceWire = geom.DistRP(top.Root.Region, geom.ToUV(in.Source))
-		res.Wirelength = treeWire + res.SourceWire
-		res.StitchWire = treeWire - shardWire
-		res.Root.Embed(geom.ToUV(in.Source))
-		return nil
+		return finalizeResult(res, in, subs, roots, parts, top, base, pilotStats)
 	}); err != nil {
 		return nil, err
 	}
 	finRgn.End()
+	if retain {
+		res.Eco = &EcoCache{
+			Instance:     in,
+			Opt:          stripLocalOnly(opt),
+			Parts:        parts,
+			Base:         base.Snapshot(),
+			PilotOffsets: pilotOffs,
+			PilotSinks:   pilotSinks,
+			Blobs:        ecoBlobs,
+		}
+	}
 	return res, nil
+}
+
+// deriveShardOpt derives the per-shard build options from the sub-build
+// options: the grid-pairer threshold is scaled by the shard count —
+// PairerAuto's grid-vs-oracle decision is about total instance scale (a
+// shard holds ~1/k of the instance), and comparing each shard's slice
+// against the global constant silently dropped mid-size sharded runs back
+// onto the O(n²) scan oracle inside every shard. k = 1 leaves the threshold
+// untouched, preserving bitwise identity with the unsharded build. For
+// k > 1 the sneak probe is dropped too: a Probe is single-goroutine, and
+// concurrent shard builds would race on it (the serial components — pilot,
+// stitch — still record; runs wanting complete sneak capture use Shards ≤ 1).
+// Shared by the from-scratch pipeline and the incremental rebuild so the
+// dirty shards of a rebuild see exactly the options the original shards saw.
+func deriveShardOpt(subOpt core.Options, k int) core.Options {
+	shardOpt := subOpt
+	thr := shardOpt.PairerThreshold
+	if thr <= 0 {
+		thr = core.GridPairerThreshold
+	}
+	shardOpt.PairerThreshold = (thr + k - 1) / k
+	if k > 1 {
+		shardOpt.SneakProbe = nil
+	}
+	return shardOpt
+}
+
+// finalizeResult assembles the post-stitch bookkeeping shared by the
+// from-scratch pipeline and the incremental rebuild: per-shard wire
+// attribution, stats aggregation, dense internal-ID renumbering (k > 1) and
+// the source embedding. res must arrive with Shards pre-sized to len(subs).
+func finalizeResult(res *Result, in *ctree.Instance, subs []*core.Subtree, roots []*ctree.Node,
+	parts [][]int, top *core.Subtree, base *core.Registry, pilotStats core.Stats) error {
+	k := len(subs)
+	var agg core.Stats
+	agg.AddRun(pilotStats) // zero when the pilot was off
+	var shardWire float64
+	for i, s := range subs {
+		w := roots[i].Wirelength()
+		res.Shards[i] = ShardInfo{Sinks: len(parts[i]), Wirelength: w, Stats: s.Stats}
+		shardWire += w
+		agg.AddRun(s.Stats)
+	}
+	agg.AddRun(top.Stats)
+	agg.GroupUnions += base.PreUnions()
+	res.Stats = agg
+
+	if k > 1 {
+		// Internal node IDs were assigned per shard (and restart in the
+		// stitch); renumber them densely above the sink IDs so IDs are
+		// unique within the run, as core.Build guarantees. Shards = 1 takes
+		// the unsharded numbering as-is, preserving bitwise identity.
+		next := len(in.Sinks)
+		top.Root.Visit(func(n *ctree.Node) {
+			if !n.IsLeaf() {
+				n.ID = next
+				next++
+			}
+		})
+	}
+
+	treeWire := top.Root.Wirelength()
+	res.SourceWire = geom.DistRP(top.Root.Region, geom.ToUV(in.Source))
+	res.Wirelength = treeWire + res.SourceWire
+	res.StitchWire = treeWire - shardWire
+	res.Root.Embed(geom.ToUV(in.Source))
+	return nil
 }

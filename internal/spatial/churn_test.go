@@ -1,0 +1,152 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestEcoChurnMatchesFreshIndex pins the index under the exact churn shape
+// the incremental rerouting path produces: a long run of ECO rounds, each a
+// clustered batch of moves (delete + re-insert of the SAME id at a shifted
+// placement), removals (tombstones) and additions (fresh ids extending the
+// id space), with the live count crossing re-cell boundaries in both
+// directions so the LiveDrop purge/rebuild machinery fires mid-sequence.
+// After every round the churned index must answer Nearest and KNearest
+// identically to an index freshly built from the surviving boxes — cell
+// geometry and rebuild history are never allowed to leak into results.
+func TestEcoChurnMatchesFreshIndex(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	const n = 500
+	boxes := make([]geom.Rect, 0, 2*n)
+	live := make([]bool, 0, 2*n)
+	x := New(25)
+	for i := 0; i < n; i++ {
+		boxes = append(boxes, randRect(r, 1000, 4))
+		live = append(live, true)
+		x.Insert(i, boxes[i])
+	}
+
+	check := func(tag string) {
+		t.Helper()
+		// A fresh index over the identical surviving boxes is the oracle:
+		// same ids, same boxes, no churn history. Its cell size differs from
+		// the churned index's (AutoCell of the survivors vs. the original
+		// New(25) grid after rebuilds) — which is the point: results must be
+		// a pure function of the live boxes.
+		survivors := make([]geom.Rect, 0, len(boxes))
+		ids := make([]int, 0, len(boxes))
+		for id, a := range live {
+			if a {
+				survivors = append(survivors, boxes[id])
+				ids = append(ids, id)
+			}
+		}
+		fresh := New(AutoCell(survivors))
+		for j, id := range ids {
+			fresh.Insert(id, survivors[j])
+		}
+		if x.Len() != fresh.Len() {
+			t.Fatalf("%s: Len = %d, fresh %d", tag, x.Len(), fresh.Len())
+		}
+		for probe := 0; probe < 40; probe++ {
+			q := randRect(r, 1000, 4)
+			key := func(ix *Index) func(int) float64 {
+				return func(id int) float64 { return geom.DistRR(q, ix.Box(id)) }
+			}
+			gj, gd, gok := x.Nearest(q, nil, key(x))
+			wj, wd, wok := fresh.Nearest(q, nil, key(fresh))
+			if gok != wok || gj != wj || gd != wd {
+				t.Fatalf("%s: Nearest(%v) = (%d, %v, %v), fresh (%d, %v, %v)",
+					tag, q, gj, gd, gok, wj, wd, wok)
+			}
+			gk := x.KNearest(q, 5, nil)
+			wk := fresh.KNearest(q, 5, nil)
+			if len(gk) != len(wk) {
+				t.Fatalf("%s: KNearest lengths %d vs %d", tag, len(gk), len(wk))
+			}
+			for i := range gk {
+				if gk[i] != wk[i] {
+					t.Fatalf("%s: KNearest[%d] = %d, fresh %d (%v vs %v)", tag, i, gk[i], wk[i], gk, wk)
+				}
+			}
+		}
+	}
+	check("initial")
+
+	for round := 0; round < 6; round++ {
+		// A clustered ECO: edits target the neighborhood of one focal box,
+		// like instio.Perturb's scripts.
+		focal := randRect(r, 1000, 4)
+		neighbors := x.KNearest(focal, 60, nil)
+		for i, id := range neighbors {
+			switch {
+			case i%5 == 4: // removal
+				x.Delete(id)
+				live[id] = false
+			case i%5 < 3: // move: re-file the same id at a shifted placement
+				nb := boxes[id]
+				du, dv := (r.Float64()*2-1)*40, (r.Float64()*2-1)*40
+				nb.ULo += du
+				nb.UHi += du
+				nb.VLo += dv
+				nb.VHi += dv
+				boxes[id] = nb
+				x.Delete(id)
+				x.Insert(id, nb)
+			}
+		}
+		// Additions: fresh ids past the current space, near the focal box.
+		for a := 0; a < 10; a++ {
+			id := len(boxes)
+			nb := focal
+			du, dv := (r.Float64()*2-1)*60, (r.Float64()*2-1)*60
+			nb.ULo += du
+			nb.UHi += du
+			nb.VLo += dv
+			nb.VHi += dv
+			boxes = append(boxes, nb)
+			live = append(live, true)
+			x.Insert(id, nb)
+		}
+		// Every other round, also resurrect a few tombstoned ids — the
+		// add-after-remove ECO — at new placements.
+		if round%2 == 1 {
+			for id := range live {
+				if !live[id] && r.Float64() < 0.3 {
+					boxes[id] = randRect(r, 1000, 4)
+					x.Insert(id, boxes[id])
+					live[id] = true
+				}
+			}
+		}
+		check("round")
+	}
+
+	// Now force the re-cell boundary from above: drain far enough that the
+	// live-count halving rebuild must fire, churning survivors on the way.
+	dropped, target := 0, 4*x.Len()/5
+	for id := 0; id < len(live) && dropped < target; id++ {
+		if live[id] {
+			x.Delete(id)
+			live[id] = false
+			dropped++
+		}
+	}
+	if x.Rebuilds().LiveDrop == 0 {
+		t.Error("drain never crossed the live-drop re-cell boundary; the test lost its point")
+	}
+	check("after drain")
+
+	// And from below: mass re-insertion over the drained grid.
+	for id := range live {
+		if !live[id] && r.Float64() < 0.7 {
+			boxes[id] = randRect(r, 1000, 4)
+			x.Insert(id, boxes[id])
+			live[id] = true
+		}
+	}
+	check("after refill")
+	t.Logf("rebuilds: %+v", x.Rebuilds())
+}
