@@ -1,0 +1,73 @@
+// Command dmevet runs the determinism analyzer suite (internal/lint) over
+// the given package patterns, in the style of a go vet multichecker. It
+// exits 0 when the tree is clean, 1 when there are findings, and 2 when the
+// packages cannot be loaded. Intentional findings are suppressed in source
+// with a reasoned annotation on the offending line (or the line above):
+//
+//	//lint:nondet-ok <reason>
+//
+// Usage:
+//
+//	dmevet [-list] [packages]
+//
+// With no package arguments it checks ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and their scopes, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dmevet [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Suite() {
+			scope := "all packages"
+			if len(a.Scope) > 0 {
+				scope = fmt.Sprint(a.Scope)
+			}
+			tests := ""
+			if a.IncludeTests {
+				tests = " (including tests)"
+			}
+			fmt.Printf("%-12s %s\n%14s→ %s%s\n", a.Name, a.Doc, "", scope, tests)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	units, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmevet: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.RunUnits(units, lint.Suite())
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dmevet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1143,7 +1143,7 @@ func (b *builder) mergeBatchParallel(batch []order.Pair, base, workers int) {
 	var tStart time.Time
 	if tr != nil {
 		rgn = tr.Begin("wave")
-		tStart = time.Now()
+		tStart = obs.Now()
 		if len(b.busyNS) < workers {
 			b.busyNS = make([]int64, workers)
 		}
@@ -1188,7 +1188,7 @@ func (b *builder) mergeBatchParallel(batch []order.Pair, base, workers int) {
 	}
 	var tSched time.Time
 	if tr != nil {
-		tSched = time.Now()
+		tSched = obs.Now()
 	}
 	var next atomic.Int32
 	order.ParallelChunksN(len(tasks), workers, 1, func(lo, hi int) {
@@ -1198,7 +1198,7 @@ func (b *builder) mergeBatchParallel(batch []order.Pair, base, workers int) {
 		w := &b.workers[wi]
 		var tBusy time.Time
 		if tr != nil {
-			tBusy = time.Now()
+			tBusy = obs.Now()
 		}
 		for k := lo; k < hi; k++ {
 			t := &tasks[k]
@@ -1218,12 +1218,12 @@ func (b *builder) mergeBatchParallel(batch []order.Pair, base, workers int) {
 			t.stats = w.wb.stats
 		}
 		if tr != nil {
-			b.busyNS[wi] = time.Since(tBusy).Nanoseconds()
+			b.busyNS[wi] = obs.Since(tBusy).Nanoseconds()
 		}
 	})
 	var tWave time.Time
 	if tr != nil {
-		tWave = time.Now()
+		tWave = obs.Now()
 	}
 
 	// Serial commit in batch order.
@@ -1246,7 +1246,7 @@ func (b *builder) mergeBatchParallel(batch []order.Pair, base, workers int) {
 		w := int64(workers)
 		sched := tSched.Sub(tStart).Nanoseconds()
 		wave := tWave.Sub(tSched).Nanoseconds()
-		commit := time.Since(tWave).Nanoseconds()
+		commit := obs.Since(tWave).Nanoseconds()
 		var busy int64
 		for _, v := range b.busyNS[:workers] {
 			busy += v

@@ -29,7 +29,7 @@ type Timer interface {
 // wallClock is the real time source.
 type wallClock struct{}
 
-func (wallClock) Now() time.Time                { return time.Now() }
+func (wallClock) Now() time.Time                 { return time.Now() }
 func (wallClock) NewTimer(d time.Duration) Timer { return wallTimer{time.NewTimer(d)} }
 
 type wallTimer struct{ t *time.Timer }

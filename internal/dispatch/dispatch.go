@@ -467,14 +467,14 @@ type runObserver interface {
 
 // coord is the single-goroutine coordinator state of one Run.
 type coord struct {
-	o       Options
-	clock   Clock
-	runner  Runner
-	runCtx  context.Context
-	events  chan event
-	tasks   []taskState
-	results []any
-	pending []launch
+	o        Options
+	clock    Clock
+	runner   Runner
+	runCtx   context.Context
+	events   chan event
+	tasks    []taskState
+	results  []any
+	pending  []launch
 	inflight int
 	done     int
 	durs     []time.Duration // completed winners' durations (hedge baseline)

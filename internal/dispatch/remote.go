@@ -230,7 +230,10 @@ func (p *WorkerPool) healthLoop() {
 		case <-p.stop:
 			return
 		case <-t.C():
-			p.probeAll()
+			// A panicking probe round must not crash the process (the pool
+			// outlives any single build): contain it and let the next tick
+			// retry — worker state is simply one round staler.
+			_ = Protect("healthloop", func() error { p.probeAll(); return nil })
 			t.Reset(p.o.HealthPeriod)
 		}
 	}

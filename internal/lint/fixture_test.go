@@ -1,0 +1,143 @@
+package lint
+
+// The analysistest-style fixture harness: each analyzer is run over a
+// self-contained package under testdata/src/<fixture>/ whose source carries
+// expectations as trailing comments:
+//
+//	time.Now() // want "call to time.Now"
+//
+// The quoted string is a regexp matched against diagnostics reported on
+// that line. Every want must be matched by a diagnostic and every
+// diagnostic by a want, so each fixture pins both directions: the analyzer
+// catches the violation, and it stays quiet on the sanctioned idioms and
+// reasoned //lint:nondet-ok suppressions around it.
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var wantRe = regexp.MustCompile("// want (\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+// loadFixture parses and type-checks testdata/src/<fixture> as package
+// pkgPath, resolving imports (stdlib and repro/...) through go list export
+// data.
+func loadFixture(t *testing.T, fixture, pkgPath string) *Unit {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatalf("fixture %s has no .go files", fixture)
+	}
+	// Resolve the fixture's imports to export data via the go command. The
+	// fixture is not part of the module's package graph (testdata is
+	// invisible to go list), so its imports are listed explicitly.
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var imports []string
+	for _, name := range names {
+		f, err := parseOnly(fset, filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path != "" && !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		units, err := listExports(".", imports)
+		if err != nil {
+			t.Fatalf("resolving fixture imports: %v", err)
+		}
+		exports = units
+	}
+	u, err := typeCheck(token.NewFileSet(), pkgPath, dir, names, exports, nil)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", fixture, err)
+	}
+	return u
+}
+
+// runFixture applies the analyzer to the fixture package and diffs its
+// diagnostics against the // want expectations.
+func runFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	u := loadFixture(t, fixture, "repro/fixture/"+fixture)
+	pass := newPass(a, u.Fset, u.Files, u.Pkg, u.Info, u.Path)
+	a.Run(pass)
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		hit  bool
+	}
+	var wants []*want
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pat, err := strconv.Unquote(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %s: %v", m[1], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", pat, err)
+					}
+					pos := u.Fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range pass.diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("no diagnostic at %s:%d matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// parseOnly parses one file without type-checking (for import discovery).
+func parseOnly(fset *token.FileSet, path string) (*ast.File, error) {
+	return parseFixtureFile(fset, path)
+}
+
+func TestMapRangeFixture(t *testing.T)   { runFixture(t, MapRange, "maprange") }
+func TestWallClockFixture(t *testing.T)  { runFixture(t, WallClock, "wallclock") }
+func TestSeededRandFixture(t *testing.T) { runFixture(t, SeededRand, "seededrand") }
+func TestRawFloatFixture(t *testing.T)   { runFixture(t, RawFloat, "rawfloat") }
+func TestGoProtectFixture(t *testing.T)  { runFixture(t, GoProtect, "goprotect") }

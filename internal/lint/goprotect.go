@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoProtect requires every goroutine spawned in internal/dispatch,
+// internal/shard and internal/order to route panics back to the caller
+// instead of crashing the process: the fault-tolerance contract ("a shard
+// that panics on every attempt yields an error, never a crash") only holds
+// if no go statement can escape the containment seams. A goroutine is
+// protected when its body — the spawned function literal, or the
+// same-package function it calls — reaches dispatch.Protect or installs a
+// deferred recover (the order.WorkerPanic funnel pattern); one level of
+// same-package indirection is followed so `go c.exec(...)` and
+// `go func() { w.run() }()` both resolve.
+var GoProtect = &Analyzer{
+	Name:  "goprotect",
+	Doc:   "every go statement in dispatch/shard/order must contain panics via dispatch.Protect or a deferred recover",
+	Scope: []string{"internal/dispatch", "internal/shard", "internal/order"},
+	Run:   runGoProtect,
+}
+
+func runGoProtect(p *Pass) {
+	// Map package-level functions and methods to their bodies so a go'd
+	// call into the same package can be checked at its definition.
+	bodies := make(map[types.Object]*ast.BlockStmt)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					bodies[obj] = fd.Body
+				}
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := p.spawnedBody(gs.Call, bodies)
+			if body == nil || !p.isProtected(body, bodies, map[*ast.BlockStmt]bool{}) {
+				p.Reportf(gs.Go, "go statement spawns an unprotected goroutine: a panic here crashes the whole process; route it through dispatch.Protect or a deferred recover (the order.WorkerPanic funnel), or annotate //lint:nondet-ok <reason>")
+			}
+			return true // nested go statements inside the body get their own visit
+		})
+	}
+}
+
+// spawnedBody resolves the body the goroutine will execute: an inline
+// function literal, or a function/method defined in this package.
+func (p *Pass) spawnedBody(call *ast.CallExpr, bodies map[types.Object]*ast.BlockStmt) *ast.BlockStmt {
+	if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := calleeFunc(p.Info, call); fn != nil {
+		return bodies[fn]
+	}
+	return nil
+}
+
+// isProtected reports whether body contains panic containment: a deferred
+// recover (inline literal or a same-package function that recovers), or a
+// call to dispatch.Protect. Direct calls into same-package functions are
+// followed one body at a time with a visited guard, so a thin wrapper
+// around a protected worker loop counts.
+func (p *Pass) isProtected(body *ast.BlockStmt, bodies map[types.Object]*ast.BlockStmt, visited map[*ast.BlockStmt]bool) bool {
+	if body == nil || visited[body] {
+		return false
+	}
+	visited[body] = true
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// A nested goroutine's containment does not protect this one:
+			// recover never crosses a goroutine boundary. It gets its own
+			// GoProtect visit.
+			return false
+		case *ast.DeferStmt:
+			switch fun := unparen(n.Call.Fun).(type) {
+			case *ast.FuncLit:
+				if containsRecover(p.Info, fun.Body) {
+					found = true
+				}
+			default:
+				if p.isProtectCall(n.Call) {
+					found = true
+				} else if fn := calleeFunc(p.Info, n.Call); fn != nil {
+					if b := bodies[fn]; b != nil && containsRecover(p.Info, b) {
+						found = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if p.isProtectCall(n) {
+				found = true
+			} else if fn := calleeFunc(p.Info, n); fn != nil {
+				if b := bodies[fn]; b != nil && p.isProtected(b, bodies, visited) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isProtectCall reports whether call invokes dispatch.Protect (matched by
+// package name so the rule holds inside internal/dispatch itself).
+func (p *Pass) isProtectCall(call *ast.CallExpr) bool {
+	fn := calleeFunc(p.Info, call)
+	return fn != nil && fn.Name() == "Protect" && fn.Pkg() != nil && fn.Pkg().Name() == "dispatch"
+}
+
+// containsRecover reports whether body calls the recover builtin.
+func containsRecover(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false // a nested goroutine's recover is its own
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuiteCleanOnTree is the acceptance gate: the dmevet suite — exactly
+// what `go run ./cmd/dmevet ./...` executes — reports zero findings on the
+// merged tree. Every intentional finding must be fixed or carry a reasoned
+// //lint:nondet-ok annotation for this to pass.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	units, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(units) < 20 {
+		t.Fatalf("suspiciously few units loaded: %d", len(units))
+	}
+	for _, d := range RunUnits(units, Suite()) {
+		t.Errorf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+}
+
+// TestScopeSelection pins that RunUnits applies analyzer scopes: the same
+// violating code is reported when its package path is inside the
+// deterministic set and ignored when it is not.
+func TestScopeSelection(t *testing.T) {
+	u := loadFixture(t, "wallclock", "x/internal/core")
+	u.Kind = UnitBase
+	if diags := RunUnits([]*Unit{u}, []*Analyzer{WallClock}); len(diags) == 0 {
+		t.Errorf("wallclock in internal/core scope: want findings, got none")
+	}
+	out := loadFixture(t, "wallclock", "x/internal/svgplot")
+	out.Kind = UnitBase
+	if diags := RunUnits([]*Unit{out}, []*Analyzer{WallClock}); len(diags) != 0 {
+		t.Errorf("wallclock outside scope: want no findings, got %d", len(diags))
+	}
+}
+
+// TestTestFileSelection pins the test-variant rules: analyzers without
+// IncludeTests never see UnitTest/UnitXTest units, and analyzers with it
+// prefer the augmented variant over the base unit so base files are not
+// double-reported.
+func TestTestFileSelection(t *testing.T) {
+	u := loadFixture(t, "wallclock", "x/internal/core")
+	u.Kind = UnitTest
+	if diags := RunUnits([]*Unit{u}, []*Analyzer{WallClock}); len(diags) != 0 {
+		t.Errorf("wallclock on a test unit: want no findings, got %d", len(diags))
+	}
+
+	base := loadFixture(t, "seededrand", "x/pkg")
+	base.Kind = UnitBase
+	aug := loadFixture(t, "seededrand", "x/pkg")
+	aug.Kind = UnitTest
+	both := RunUnits([]*Unit{base, aug}, []*Analyzer{SeededRand})
+	onlyBase := RunUnits([]*Unit{base}, []*Analyzer{SeededRand})
+	if len(both) != len(onlyBase) || len(both) == 0 {
+		t.Errorf("augmented variant should supersede base: got %d findings vs %d", len(both), len(onlyBase))
+	}
+}
+
+// TestInScope pins the suffix-matching boundary rules.
+func TestInScope(t *testing.T) {
+	cases := []struct {
+		scope []string
+		path  string
+		want  bool
+	}{
+		{nil, "anything", true},
+		{[]string{"internal/core"}, "repro/internal/core", true},
+		{[]string{"internal/core"}, "internal/core", true},
+		{[]string{"internal/core"}, "repro/internal/coreutils", false},
+		{[]string{"internal/core"}, "repro/internal/score", false},
+		{[]string{"internal/wire"}, "repro/internal/wire", true},
+	}
+	for _, c := range cases {
+		if got := inScope(c.scope, c.path); got != c.want {
+			t.Errorf("inScope(%v, %q) = %v, want %v", c.scope, c.path, got, c.want)
+		}
+	}
+}
+
+// TestBasePath pins go list's test-variant suffix stripping.
+func TestBasePath(t *testing.T) {
+	if got := basePath("repro/internal/core [repro/internal/core.test]"); got != "repro/internal/core" {
+		t.Errorf("basePath = %q", got)
+	}
+	if got := basePath("repro/internal/core"); got != "repro/internal/core" {
+		t.Errorf("basePath = %q", got)
+	}
+}
+
+// TestSuiteShape pins the advertised analyzer set: five analyzers, each
+// documented, with the scopes the determinism contract names.
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 5 {
+		t.Fatalf("suite has %d analyzers, want 5", len(suite))
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range suite {
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing doc or run", a.Name)
+		}
+		byName[a.Name] = a
+	}
+	for _, name := range []string{"maprange", "wallclock", "seededrand", "rawfloat", "goprotect"} {
+		if byName[name] == nil {
+			t.Errorf("missing analyzer %s", name)
+		}
+	}
+	if a := byName["seededrand"]; a != nil && (!a.IncludeTests || a.Scope != nil) {
+		t.Errorf("seededrand must cover every package including tests")
+	}
+	if a := byName["rawfloat"]; a != nil && !strings.Contains(strings.Join(a.Scope, ","), "internal/wire") {
+		t.Errorf("rawfloat must scope to internal/wire, got %v", a.Scope)
+	}
+	if a := byName["maprange"]; a != nil && len(a.Scope) != len(DeterministicPackages) {
+		t.Errorf("maprange must scope to the deterministic packages")
+	}
+}

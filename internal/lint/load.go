@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// UnitKind distinguishes the three compilations go list produces per
+// package under -test.
+type UnitKind int
+
+const (
+	// UnitBase is the package's non-test files.
+	UnitBase UnitKind = iota
+	// UnitTest is the test-augmented variant: base files plus in-package
+	// _test.go files, type-checked together.
+	UnitTest
+	// UnitXTest is the external test package (package foo_test).
+	UnitXTest
+)
+
+// A Unit is one type-checked compilation ready for analysis.
+type Unit struct {
+	// Path is the effective import path for scope matching: test variants
+	// carry the path of the package under test.
+	Path  string
+	Kind  UnitKind
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir         string
+	ImportPath  string
+	ForTest     string
+	Export      string
+	Standard    bool
+	DepOnly     bool
+	GoFiles     []string
+	TestGoFiles []string
+	ImportMap   map[string]string
+	Error       *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir, builds export data
+// for every dependency via the go command, and type-checks each matched
+// package — plus its test-augmented and external-test variants — with the
+// stdlib gc importer. It is the offline, dependency-free equivalent of
+// go/packages.Load(LoadAllSyntax).
+func Load(dir string, patterns []string) ([]*Unit, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-test", "-json=Dir,ImportPath,ForTest,Export,Standard,DepOnly,GoFiles,TestGoFiles,ImportMap,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %v", err)
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	roots := make(map[string]bool)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.ForTest == "" && !strings.HasSuffix(p.ImportPath, ".test") {
+			roots[p.ImportPath] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	var units []*Unit
+	for _, p := range pkgs {
+		if p.Standard || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		var kind UnitKind
+		var path string
+		var files []string
+		switch {
+		case p.ForTest == "":
+			if !roots[p.ImportPath] {
+				continue
+			}
+			kind, path, files = UnitBase, p.ImportPath, p.GoFiles
+		case roots[p.ForTest]:
+			// The test-augmented variant's GoFiles already holds base plus
+			// in-package _test.go files.
+			path = p.ForTest
+			if strings.HasSuffix(basePath(p.ImportPath), "_test") {
+				kind = UnitXTest
+			} else {
+				kind = UnitTest
+			}
+			files = p.GoFiles
+		default:
+			continue
+		}
+		if len(files) == 0 {
+			continue
+		}
+		u, err := typeCheck(fset, path, p.Dir, files, exports, p.ImportMap)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %v", p.ImportPath, err)
+		}
+		u.Kind = kind
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// basePath strips go list's " [foo.test]" disambiguation suffix.
+func basePath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// listExports resolves the given import paths (plus all their
+// dependencies) to compiled export data files. Used by the fixture harness
+// to type-check testdata packages that go list cannot see.
+func listExports(dir string, importPaths []string) (map[string]string, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export,Error"}, importPaths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list -export: %v\n%s", err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// parseFixtureFile parses one file with the loader's standard mode.
+func parseFixtureFile(fset *token.FileSet, path string) (*ast.File, error) {
+	return parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+}
+
+// typeCheck parses files from pkgDir and type-checks them as package path,
+// resolving imports through export data (importMap translates source import
+// paths to test-variant keys when the package under test is augmented).
+func typeCheck(fset *token.FileSet, path, pkgDir string, fileNames []string, exports map[string]string, importMap map[string]string) (*Unit, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(pkgDir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(importPath string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[importPath]; ok {
+			importPath = mapped
+		}
+		exp, ok := exports[importPath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", importPath)
+		}
+		return os.Open(exp)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(basePath(path), fset, files, info)
+	if typeErr != nil {
+		return nil, typeErr
+	}
+	return &Unit{Path: basePath(path), Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange forbids ranging over a map in the deterministic packages: map
+// iteration order is randomized per execution, so any map range whose body
+// order matters silently breaks the bitwise-determinism contract. The
+// collect-and-sort idiom is recognized and allowed: a range body that only
+// appends the key (and/or value) to a slice which is later passed to a
+// sort/slices call in the same function. Anything else needs the
+// //lint:nondet-ok annotation with a reason explaining why order cannot
+// reach build results.
+var MapRange = &Analyzer{
+	Name:  "maprange",
+	Doc:   "forbid map iteration in deterministic packages unless keys are collected and sorted",
+	Scope: DeterministicPackages,
+	Run:   runMapRange,
+}
+
+func runMapRange(p *Pass) {
+	for _, f := range p.Files {
+		ast.Walk(mapRangeVisitor{p: p}, f)
+	}
+}
+
+// mapRangeVisitor walks a file carrying the body of the innermost enclosing
+// function, so each map range can be checked against the sorts that follow
+// it in the same function.
+type mapRangeVisitor struct {
+	p    *Pass
+	encl *ast.BlockStmt
+}
+
+func (v mapRangeVisitor) Visit(n ast.Node) ast.Visitor {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return mapRangeVisitor{p: v.p, encl: n.Body}
+	case *ast.FuncLit:
+		return mapRangeVisitor{p: v.p, encl: n.Body}
+	case *ast.RangeStmt:
+		v.p.checkMapRange(n, v.encl)
+	}
+	return v
+}
+
+func (p *Pass) checkMapRange(rs *ast.RangeStmt, encl *ast.BlockStmt) {
+	tv, ok := p.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	// `for range m` binds neither key nor value: the body runs len(m)
+	// times in no particular order it can observe.
+	if rs.Key == nil && rs.Value == nil {
+		return
+	}
+	if p.isCollectAndSort(rs, encl) {
+		return
+	}
+	p.Reportf(rs.For, "range over map %s: iteration order is nondeterministic; collect the keys into a slice and sort it, or annotate //lint:nondet-ok <reason>", types.ExprString(rs.X))
+}
+
+// isCollectAndSort recognizes the sanctioned idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Ints(keys)            // or any sort./slices. call taking keys
+//
+// The body must be exactly one append of the iteration variables into a
+// slice, and that slice must reach a sort or slices call later in the same
+// function.
+func (p *Pass) isCollectAndSort(rs *ast.RangeStmt, encl *ast.BlockStmt) bool {
+	if rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := unparen(assign.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	dest := p.Info.Uses[lhs]
+	if dest == nil {
+		dest = p.Info.Defs[lhs]
+	}
+	call, ok := unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if fun, ok := unparen(call.Fun).(*ast.Ident); !ok || fun.Name != "append" {
+		return false
+	} else if b, ok := p.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	first, ok := unparen(call.Args[0]).(*ast.Ident)
+	if !ok || dest == nil || p.Info.Uses[first] != dest {
+		return false
+	}
+	// Every appended value must be an iteration variable, so the slice
+	// holds exactly the keys/values and nothing order-dependent.
+	iterVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if e == nil {
+			continue
+		}
+		if id, ok := unparen(e).(*ast.Ident); ok {
+			if obj := p.Info.Defs[id]; obj != nil {
+				iterVars[obj] = true
+			} else if obj := p.Info.Uses[id]; obj != nil {
+				iterVars[obj] = true // `k = range m` over a pre-declared var
+			}
+		}
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := unparen(arg).(*ast.Ident)
+		if !ok || !iterVars[p.Info.Uses[id]] {
+			return false
+		}
+	}
+	return p.sortedAfter(dest, rs.End(), encl)
+}
+
+// sortedAfter reports whether dest is passed to a sort. or slices. function
+// after pos within body.
+func (p *Pass) sortedAfter(dest types.Object, pos token.Pos, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := unparen(arg).(*ast.Ident); ok && p.Info.Uses[id] == dest {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

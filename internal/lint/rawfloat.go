@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RawFloat enforces internal/wire's "floats travel as raw bits" rule: a
+// float crosses the codec as math.Float64bits / Float64frombits, never via
+// text formatting or a direct binary.Write, so that decode(encode(x)) is
+// bitwise x for every value including -0, subnormals and NaN payloads.
+// Flagged: strconv float conversions, binary.Write/Read of float-bearing
+// values, and the value-producing fmt functions applied to floats.
+// fmt.Errorf and the Print family stay available for diagnostics — error
+// text never crosses the codec.
+var RawFloat = &Analyzer{
+	Name:  "rawfloat",
+	Doc:   "in internal/wire, floats must cross the codec as math.Float64bits raw bits",
+	Scope: []string{"internal/wire"},
+	Run:   runRawFloat,
+}
+
+// rawFloatStrconv are the strconv float<->text conversions.
+var rawFloatStrconv = map[string]bool{
+	"FormatFloat": true,
+	"AppendFloat": true,
+	"ParseFloat":  true,
+}
+
+// rawFloatFmt are the fmt functions whose output can reach the codec (they
+// produce or write a value rather than printing a diagnostic).
+var rawFloatFmt = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+func runRawFloat(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			name := fn.Name()
+			switch fn.Pkg().Path() {
+			case "strconv":
+				if rawFloatStrconv[name] {
+					p.Reportf(call.Pos(), "strconv.%s formats a float as text: floats cross the wire as raw bits (math.Float64bits/Float64frombits) so decode(encode(x)) stays bitwise", name)
+				}
+			case "encoding/binary":
+				if (name == "Write" || name == "Read") && len(call.Args) == 3 {
+					if t := p.exprType(call.Args[2]); t != nil && containsFloat(t, nil) {
+						p.Reportf(call.Pos(), "binary.%s of float-bearing %s: floats cross the wire as raw bits (math.Float64bits/Float64frombits), not direct binary encoding", name, t.String())
+					}
+				}
+			case "fmt":
+				if !rawFloatFmt[name] {
+					return true
+				}
+				for _, arg := range call.Args {
+					t := p.exprType(arg)
+					if t == nil {
+						continue
+					}
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+						p.Reportf(call.Pos(), "fmt.%s formats a float as text: floats cross the wire as raw bits; text formatting of floats is reserved for diagnostics (fmt.Errorf, the Print family)", name)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// exprType returns the (defaulted) type of e, or nil.
+func (p *Pass) exprType(e ast.Expr) types.Type {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return types.Default(tv.Type)
+}
+
+// containsFloat walks t for any float component (through pointers, slices,
+// arrays, maps, channels and struct fields, with a cycle guard).
+func containsFloat(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Pointer:
+		return containsFloat(u.Elem(), seen)
+	case *types.Slice:
+		return containsFloat(u.Elem(), seen)
+	case *types.Array:
+		return containsFloat(u.Elem(), seen)
+	case *types.Map:
+		return containsFloat(u.Key(), seen) || containsFloat(u.Elem(), seen)
+	case *types.Chan:
+		return containsFloat(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsFloat(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

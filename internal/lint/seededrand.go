@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand forbids the top-level math/rand functions everywhere,
+// including tests: they draw from the process-global source, so two runs —
+// or two goroutine interleavings — see different streams. Every random
+// draw in this repo is explicitly seeded (bench specs, instancegen,
+// FaultPlan.SeededPlan); the rule keeps it that way. Constructors that
+// build a seeded generator (rand.New, rand.NewSource, rand.NewZipf, and the
+// v2 NewPCG/NewChaCha8) are the sanctioned entry points, and methods on a
+// *rand.Rand are always fine.
+var SeededRand = &Analyzer{
+	Name:         "seededrand",
+	Doc:          "forbid the global math/rand source; require explicitly seeded *rand.Rand",
+	IncludeTests: true,
+	Run:          runSeededRand,
+}
+
+// seededRandConstructors are the receiver-less math/rand functions that
+// construct a generator rather than draw from the global source.
+var seededRandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runSeededRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if path := fn.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // a method on *rand.Rand: explicitly seeded by construction
+			}
+			if seededRandConstructors[fn.Name()] {
+				return true
+			}
+			p.Reportf(call.Pos(), "top-level %s.%s draws from the shared global source and is not reproducible; use an explicitly seeded generator (rand.New(rand.NewSource(seed)))", fn.Pkg().Path(), fn.Name())
+			return true
+		})
+	}
+}

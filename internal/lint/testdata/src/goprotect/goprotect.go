@@ -1,0 +1,81 @@
+// Fixture for the goprotect analyzer: every spawned goroutine must contain
+// panics — via dispatch.Protect or a deferred recover — so no goroutine
+// can crash the process.
+package fixtures
+
+import (
+	"runtime/debug"
+
+	"repro/internal/dispatch"
+)
+
+// bad spawns an opaque function with no containment: reported.
+func bad(f func()) {
+	go f() // want `unprotected goroutine`
+}
+
+// badLit spawns a literal with no containment: reported.
+func badLit(ch chan<- int) {
+	go func() { // want `unprotected goroutine`
+		ch <- 1
+	}()
+}
+
+// protectedLit routes the body through dispatch.Protect: allowed.
+func protectedLit(errs chan<- error, f func() error) {
+	go func() {
+		errs <- dispatch.Protect("fixture", f)
+	}()
+}
+
+// workerPanic mirrors order.WorkerPanic's funnel: the deferred recover
+// captures the panic and hands it to the caller. Allowed.
+type workerPanic struct {
+	val   any
+	stack []byte
+}
+
+func funneled(f func(), done chan<- *workerPanic) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- &workerPanic{val: r, stack: debug.Stack()}
+				return
+			}
+			done <- nil
+		}()
+		f()
+	}()
+}
+
+// worker carries its own containment, so spawning it — directly or through
+// a thin wrapper — is allowed.
+func worker() {
+	defer func() { _ = recover() }()
+}
+
+func viaDecl() {
+	go worker()
+}
+
+func viaWrapper() {
+	go func() { worker() }()
+}
+
+// nested: the inner goroutine's recover does not protect the outer body —
+// recover never crosses a goroutine boundary — so the outer go is
+// reported and the inner one is fine.
+func nested(f func()) {
+	go func() { // want `unprotected goroutine`
+		go func() {
+			defer func() { _ = recover() }()
+			f()
+		}()
+		f()
+	}()
+}
+
+// annotated spawns without containment but says why: suppressed.
+func annotated(f func()) {
+	go f() //lint:nondet-ok fixture: f is panic-free by construction
+}

@@ -1,0 +1,87 @@
+// Fixture for the maprange analyzer: map iteration in a deterministic
+// package must collect-and-sort, carry a reasoned annotation, or be
+// reported.
+package fixtures
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// bad iterates a map with an order-sensitive body: reported.
+func bad(m map[int]string) {
+	for k, v := range m { // want "range over map m"
+		fmt.Println(k, v)
+	}
+}
+
+// collectSorted is the sanctioned idiom: keys into a slice, then sorted.
+func collectSorted(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// collectSlicesSorted uses the slices package: equally sanctioned.
+func collectSlicesSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// collectSortSlice sorts with a comparator: still sanctioned.
+func collectSortSlice(m map[int]float64) []int {
+	keys := []int{}
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] > keys[j] })
+	return keys
+}
+
+// collectUnsorted collects the keys but never sorts them: the slice order
+// is still the map's iteration order, so it is reported.
+func collectUnsorted(m map[int]string) []int {
+	keys := []int{}
+	for k := range m { // want "range over map m"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// countOnly binds neither key nor value: the body cannot observe an order.
+func countOnly(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// annotated is order-independent and says why: suppressed.
+func annotated(m map[int]string) int {
+	n := 0
+	//lint:nondet-ok summing lengths is commutative; order cannot reach the result
+	for _, v := range m {
+		n += len(v)
+	}
+	return n
+}
+
+// annotatedNoReason has a bare annotation: not suppressed, and the report
+// says what is missing.
+func annotatedNoReason(m map[int]string) int {
+	n := 0
+	//lint:nondet-ok
+	for k := range m { // want "missing its reason"
+		n += k
+	}
+	return n
+}

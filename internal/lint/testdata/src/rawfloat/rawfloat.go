@@ -1,0 +1,72 @@
+// Fixture for the rawfloat analyzer: floats cross the codec as
+// math.Float64bits raw bits — never as text, never via direct
+// binary.Write — so decode(encode(x)) is bitwise x.
+package fixtures
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// badFormat renders a float as text: reported.
+func badFormat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64) // want `strconv.FormatFloat`
+}
+
+// badParse reads a float from text: reported.
+func badParse(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64) // want `strconv.ParseFloat`
+}
+
+// badBinary writes a float directly: reported.
+func badBinary(buf *bytes.Buffer, x float64) error {
+	return binary.Write(buf, binary.LittleEndian, x) // want `binary.Write of float-bearing`
+}
+
+// sample carries a float inside a struct: still reported.
+type sample struct {
+	ID uint32
+	V  float64
+}
+
+func badBinaryStruct(buf *bytes.Buffer, s sample) error {
+	return binary.Write(buf, binary.LittleEndian, s) // want `binary.Write of float-bearing`
+}
+
+// header is float-free, so binary.Write of it is allowed.
+type header struct {
+	Magic uint32
+	Count uint16
+}
+
+func okBinary(buf *bytes.Buffer, h header) error {
+	return binary.Write(buf, binary.LittleEndian, h)
+}
+
+// badSprintf formats a float into a value that can reach the codec:
+// reported.
+func badSprintf(x float64) string {
+	return fmt.Sprintf("%.17g", x) // want `fmt.Sprintf formats a float`
+}
+
+// okErrorf builds a diagnostic: error text never crosses the codec.
+func okErrorf(x float64) error {
+	return fmt.Errorf("value %g out of range", x)
+}
+
+// rawBits is the approved crossing: bit-exact both ways.
+func rawBits(x float64) uint64 {
+	return math.Float64bits(x)
+}
+
+func fromBits(b uint64) float64 {
+	return math.Float64frombits(b)
+}
+
+// annotated formats with a recorded reason: suppressed.
+func annotated(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64) //lint:nondet-ok fixture: human-readable dump, not the codec path
+}

@@ -1,0 +1,33 @@
+// Fixture for the seededrand analyzer: no draws from math/rand's shared
+// global source, anywhere; explicitly seeded *rand.Rand is the rule.
+package fixtures
+
+import "math/rand"
+
+// badIntn draws from the global source: reported.
+func badIntn() int {
+	return rand.Intn(10) // want `top-level math/rand.Intn`
+}
+
+// badFloat64 likewise: reported.
+func badFloat64() float64 {
+	return rand.Float64() // want `top-level math/rand.Float64`
+}
+
+// badShuffle mutates through the global source: reported.
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `top-level math/rand.Shuffle`
+}
+
+// seeded builds an explicit generator — the constructors are the
+// sanctioned entry points, and every method on the result is fine.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(4, func(i, j int) {})
+	return r.Intn(10)
+}
+
+// annotated draws globally with a recorded reason: suppressed.
+func annotated() int {
+	return rand.Int() //lint:nondet-ok fixture: jitter for a log sampler, never a build input
+}

@@ -1,0 +1,49 @@
+// Fixture for the wallclock analyzer: wall-clock reads in a deterministic
+// package must go through the obs seam or carry a reasoned annotation.
+package fixtures
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// badNow reads the wall clock directly: reported.
+func badNow() time.Time {
+	return time.Now() // want "call to time.Now"
+}
+
+// badSince is a disguised Now: reported.
+func badSince(t time.Time) time.Duration {
+	return time.Since(t) // want "call to time.Since"
+}
+
+// badSleep stalls on real time, escaping fake-clock tests: reported.
+func badSleep(d time.Duration) {
+	time.Sleep(d) // want "call to time.Sleep"
+}
+
+// badTimer is a timer-flavored sleep: reported.
+func badTimer(d time.Duration) *time.Timer {
+	return time.NewTimer(d) // want "call to time.NewTimer"
+}
+
+// seam routes the read through internal/obs, the approved observability
+// timer seam: allowed.
+func seam() time.Duration {
+	start := obs.Now()
+	return obs.Since(start)
+}
+
+// construction of time values is not a clock read: allowed.
+var epoch = time.Unix(0, 0)
+
+// arithmetic on time values is not a clock read: allowed.
+func arithmetic(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}
+
+// annotated reads the clock with a recorded reason: suppressed.
+func annotated() time.Time {
+	return time.Now() //lint:nondet-ok fixture: feeds a log line, never a build result
+}

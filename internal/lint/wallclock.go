@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallClock forbids wall-clock reads and sleeps in the deterministic
+// packages. Timing that leaks into a build result breaks bitwise
+// re-execution (retries, hedges and remote dispatch all re-run sub-builds),
+// and a direct time.Sleep in engine code escapes the dispatch.Clock seam
+// that lets fake-clock tests run hour-scale schedules in milliseconds. The
+// approved seams live outside these packages: dispatch.Clock for schedule
+// timing and internal/obs (obs.Now/obs.Since) for observability timers that
+// feed trace metrics but never build results.
+var WallClock = &Analyzer{
+	Name:  "wallclock",
+	Doc:   "forbid time.Now/Since/Sleep and timer constructors in deterministic packages",
+	Scope: DeterministicPackages,
+	Run:   runWallClock,
+}
+
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Sleep":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWallClock(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || !wallClockFuncs[fn.Name()] || !isPkgFunc(fn, "time", fn.Name()) {
+				return true
+			}
+			p.Reportf(call.Pos(), "call to time.%s in a deterministic package: wall-clock reads belong behind dispatch.Clock or the internal/obs timer seam so timing can never reach build results; annotate //lint:nondet-ok <reason> if it provably cannot", fn.Name())
+			return true
+		})
+	}
+}

@@ -46,6 +46,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Strategy selects how aggressively merges are batched.
@@ -302,9 +304,9 @@ func (q *Queue) Next() (i, j int, ok bool) {
 // Merged in batch order. The returned slice is valid until the next
 // NextBatch or Next call.
 func (q *Queue) NextBatch() []Pair {
-	start := time.Now()
+	start := obs.Now()
 	out := q.nextBatch()
-	q.batchTime += time.Since(start)
+	q.batchTime += obs.Since(start)
 	return out
 }
 

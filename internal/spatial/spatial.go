@@ -68,6 +68,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // maxSpanCells caps the number of grid cells one item may occupy before it
@@ -740,8 +741,8 @@ func (x *Index) purge() {
 // have fattened and thinned: time to re-adapt the cell) or when too many
 // items sit clamped at the window edge.
 func (x *Index) rebuild(recell bool) {
-	start := time.Now()
-	defer func() { x.rebuildTime += time.Since(start) }()
+	start := obs.Now()
+	defer func() { x.rebuildTime += obs.Since(start) }()
 	live := make([]int32, 0, x.n)
 	liveBoxes := make([]geom.Rect, 0, x.n)
 	for id := range x.spans {

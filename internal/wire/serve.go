@@ -66,7 +66,7 @@ func newHandler(exec func(*WorkUnit) (*BuildResult, error), o ServerOptions) htt
 			return
 		}
 		if o.Stall > 0 {
-			t := time.NewTimer(o.Stall)
+			t := time.NewTimer(o.Stall) //lint:nondet-ok Stall is test-only fault injection; request timing never reaches the encoded bytes
 			select {
 			case <-t.C:
 			case <-r.Context().Done():

@@ -21,6 +21,7 @@ package wire
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/ctree"
@@ -561,11 +562,7 @@ func encodeNode(w *writer, n *ctree.Node, index map[*ctree.Node]int) error {
 		for g := range n.Handles {
 			groups = append(groups, g)
 		}
-		for i := 1; i < len(groups); i++ {
-			for j := i; j > 0 && groups[j] < groups[j-1]; j-- {
-				groups[j], groups[j-1] = groups[j-1], groups[j]
-			}
-		}
+		slices.Sort(groups)
 		w.uv(uint64(len(groups)))
 		for _, g := range groups {
 			ref := n.Handles[g]
